@@ -1,0 +1,45 @@
+"""Figure 10 — energy overhead of migrations.
+
+Paper shape: "PABFD consumes the highest energy while GLAP consumes the
+least"; also, more migrations do not always mean more energy (the VM
+sizes and migration times matter).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure10_energy_overhead, format_figure10
+
+from common import SHAPE_CHECKS, get_sweep, once, report
+
+
+def test_fig10_energy_overhead(benchmark):
+    sweep = get_sweep()
+    rows = once(benchmark, figure10_energy_overhead, sweep)
+    report("fig10_energy_overhead", format_figure10(rows))
+
+    if not SHAPE_CHECKS:
+        return  # smoke scale: no statistical shape assertions
+
+    per_policy = {}
+    for policy in sweep.policies:
+        per_policy[policy] = float(
+            np.mean([r["median_j"] for r in rows if r["policy"] == policy])
+        )
+    print("mean migration energy (J):", {k: round(v) for k, v in per_policy.items()})
+
+    # GLAP cheapest.
+    assert min(per_policy, key=per_policy.get) == "GLAP", per_policy
+    # Sanity: energy strictly positive wherever migrations happened.
+    for row in rows:
+        assert row["median_j"] >= 0.0
+
+    # Energy roughly tracks migration volume overall (correlation over
+    # the grid), even though individual points may invert.
+    energies, migrations = [], []
+    for scenario in sweep.scenarios:
+        for policy in sweep.policies:
+            runs = sweep.of(scenario, policy)
+            energies.append(np.mean([r.migration_energy_j for r in runs]))
+            migrations.append(np.mean([r.total_migrations for r in runs]))
+    corr = np.corrcoef(energies, migrations)[0, 1]
+    assert corr > 0.5, f"energy should broadly track migrations, corr={corr:.2f}"

@@ -1,0 +1,61 @@
+"""Figure 5 — Q-value convergence: learning alone (WOG) vs learning +
+aggregation (WG), for VM:PM ratios 2/3/4.
+
+Paper shape: cosine similarity across PMs stalls well below 1 after the
+learning phase alone (~0.45 in the paper) and converges towards 1 once
+the gossip aggregation phase runs.
+"""
+
+import os
+
+from repro.core.glap import GlapConfig
+from repro.experiments.figures import figure5_convergence, format_figure5
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+from common import once, report
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+
+if _SCALE == "paper":
+    _SCENARIO = Scenario(n_pms=1000, ratio=2, rounds=720, warmup_rounds=700)
+    _CFG = GlapConfig()
+elif _SCALE == "quick":
+    _SCENARIO = Scenario(
+        n_pms=16, ratio=2, rounds=10, warmup_rounds=40,
+        trace_params=GoogleTraceParams(rounds_per_day=40),
+    )
+    _CFG = GlapConfig(aggregation_rounds=10)
+else:
+    _SCENARIO = Scenario(
+        n_pms=60, ratio=2, rounds=10, warmup_rounds=120,
+        trace_params=GoogleTraceParams(rounds_per_day=120),
+    )
+    _CFG = GlapConfig(aggregation_rounds=30)
+
+
+def test_fig5_convergence(benchmark):
+    data = once(
+        benchmark,
+        figure5_convergence,
+        _SCENARIO,
+        ratios=(2, 3, 4),
+        glap_config=_CFG,
+    )
+    report("fig5_convergence", format_figure5(data))
+
+    for ratio, series in data.items():
+        wog = [s for s, p in zip(series["similarity"], series["phase"])
+               if p == "learn"]
+        wg = [s for s, p in zip(series["similarity"], series["phase"])
+              if p == "aggregate"]
+        assert wog and wg, f"ratio {ratio}: both phases must be sampled"
+        # WOG stalls below full agreement; WG converges close to 1.
+        assert wog[-1] < 0.95, (
+            f"ratio {ratio}: learning alone already at {wog[-1]:.3f} — "
+            "aggregation would be pointless"
+        )
+        assert wg[-1] > 0.9, (
+            f"ratio {ratio}: aggregation ended at {wg[-1]:.3f}, expected ~1"
+        )
+        assert wg[-1] > wog[-1], f"ratio {ratio}: aggregation must improve"

@@ -1,0 +1,44 @@
+"""Figure 6 — fraction of overloaded / active PMs, with the BFD packing
+baseline.
+
+Paper shape: GRMP and PABFD consolidate aggressively (around or below
+the BFD baseline) at high overload fractions; GLAP and EcoCloud keep a
+bit more PMs active with far fewer overloads; GLAP has the lowest
+overload fraction overall (12% vs 22% / 58% / 75% in the paper).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure6_overload_fraction, format_figure6
+
+from common import SHAPE_CHECKS, assert_ordering_mostly, get_sweep, once, report
+
+
+def test_fig6_overload_fraction(benchmark):
+    sweep = get_sweep()
+    rows = once(benchmark, figure6_overload_fraction, sweep)
+    report("fig6_overload_fraction", format_figure6(rows))
+
+    if not SHAPE_CHECKS:
+        return  # smoke scale: no statistical shape assertions
+
+    # Aggregate the fraction per policy over the whole grid.
+    per_policy = {}
+    for policy in sweep.policies:
+        fractions = [r["overloaded_fraction"] for r in rows if r["policy"] == policy]
+        per_policy[policy] = float(np.mean(fractions))
+
+    assert_ordering_mostly(
+        per_policy,
+        expected_best="GLAP",
+        expected_worst_pair=("GRMP", "PABFD"),
+        label="Figure 6 overload fraction",
+    )
+
+    # GLAP consolidates: clearly fewer active PMs than the full DC, and
+    # within a modest factor of the BFD baseline ("a bit more ... than
+    # the baseline").
+    for row in rows:
+        if row["policy"] == "GLAP":
+            assert row["mean_active"] < row["n_pms"]
+            assert row["mean_active"] < 2.5 * row["bfd_baseline"]

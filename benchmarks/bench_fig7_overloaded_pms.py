@@ -1,0 +1,45 @@
+"""Figure 7 — number of overloaded PMs per round (median, p10, p90).
+
+Paper shape: "GLAP generates the smallest number of overloaded PMs.
+However, GRMP shows the worst result" — GLAP improves on EcoCloud, GRMP
+and PABFD by 43%, 78% and 73% respectively.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure7_overloaded_pms, format_percentile_rows
+
+from common import SHAPE_CHECKS, assert_ordering_mostly, get_sweep, once, report
+
+
+def test_fig7_overloaded_pms(benchmark):
+    sweep = get_sweep()
+    rows = once(benchmark, figure7_overloaded_pms, sweep)
+    report("fig7_overloaded_pms",
+           format_percentile_rows(rows, "Figure 7 — overloaded PMs per round"))
+
+    if not SHAPE_CHECKS:
+        return  # smoke scale: no statistical shape assertions
+
+    per_policy = {}
+    for policy in sweep.policies:
+        per_policy[policy] = float(
+            np.mean([r["mean"] for r in rows if r["policy"] == policy])
+        )
+
+    assert_ordering_mostly(
+        per_policy,
+        expected_best="GLAP",
+        expected_worst_pair=("GRMP", "PABFD"),
+        label="Figure 7 overloaded PMs",
+    )
+
+    # The paper's headline: GLAP reduces overloaded PMs by 43-78%.
+    # At reduced scale we require at least a 30% reduction vs every rival.
+    for other in ("EcoCloud", "GRMP", "PABFD"):
+        if per_policy[other] > 0:
+            reduction = 1.0 - per_policy["GLAP"] / per_policy[other]
+            assert reduction > 0.3, (
+                f"GLAP reduces overloaded PMs vs {other} by only "
+                f"{100 * reduction:.0f}% (paper: 43-78%)"
+            )

@@ -1,0 +1,92 @@
+"""Hot-path micro-benchmarks (pytest-benchmark's natural territory).
+
+Not paper artefacts — these guard the performance of the inner loops
+that dominate a full run, so a regression shows up here before it turns
+a 5-minute sweep into an hour.
+"""
+
+import numpy as np
+
+from repro.core.learning import LocalTrainer, VmProfile
+from repro.core.qlearning import QLearningModel
+from repro.core.qtable import QTable
+from repro.core.states import state_code_fast
+from repro.datacenter.resources import EC2_MICRO, HP_PROLIANT_ML110_G5
+from repro.overlay.cyclon import CyclonProtocol
+from repro.simulator.engine import Simulation
+from repro.simulator.node import Node
+
+
+def test_state_encoding(benchmark):
+    values = np.random.default_rng(0).uniform(0, 1.2, size=(1000, 2))
+
+    def encode_all():
+        total = 0
+        for u0, u1 in values:
+            total += state_code_fast(u0, u1)
+        return total
+
+    benchmark(encode_all)
+
+
+def test_qtable_update(benchmark):
+    q = QTable()
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 81, size=(500, 3))
+
+    def update_all():
+        for s, a, s_next in keys:
+            q.update(int(s), int(a), 5.0, int(s_next), alpha=0.5, gamma=0.8)
+
+    benchmark(update_all)
+
+
+def test_qtable_merge(benchmark):
+    rng = np.random.default_rng(0)
+
+    def build(seed):
+        t = QTable()
+        r = np.random.default_rng(seed)
+        for _ in range(300):
+            t.set(int(r.integers(81)), int(r.integers(81)), float(r.normal()))
+        return t
+
+    a, b = build(1), build(2)
+
+    def merge():
+        a.copy().merge(b)
+
+    benchmark(merge)
+
+
+def test_trainer_round(benchmark):
+    cap = EC2_MICRO.capacity_vector()
+    rng = np.random.default_rng(0)
+    profiles = [
+        VmProfile(
+            current_abs=rng.uniform(0.05, 0.9, 2) * cap,
+            average_abs=rng.uniform(0.05, 0.9, 2) * cap,
+            spec_capacity=cap,
+        )
+        for _ in range(24)
+    ]
+    trainer = LocalTrainer(
+        QLearningModel(),
+        HP_PROLIANT_ML110_G5.capacity_vector(),
+        np.random.default_rng(1),
+        iterations_per_round=20,
+    )
+
+    benchmark(trainer.train_round, profiles)
+
+
+def test_cyclon_round(benchmark):
+    cyclon = CyclonProtocol(20, 8, rng=np.random.default_rng(0))
+    ids = list(range(200))
+    cyclon.bootstrap_random(ids)
+    nodes = [Node(i) for i in ids]
+    for node in nodes:
+        node.register("cyclon", cyclon)
+    sim = Simulation(nodes, np.random.default_rng(1))
+
+    benchmark(sim.run_round)

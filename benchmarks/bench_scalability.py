@@ -1,0 +1,57 @@
+"""Scalability bench: wall-clock per simulated round vs cluster size.
+
+GLAP's claim is per-node O(1) communication/computation per round, so a
+round's total cost should scale ~linearly in the node count.  This bench
+measures consolidation-round throughput at two sizes and checks the
+growth factor stays near-linear (quadratic behaviour would point at an
+accidental all-pairs scan).
+"""
+
+import os
+import time
+
+from repro.core.glap import GlapConfig
+from repro.experiments.runner import build_environment, make_policy
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+from common import once
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+_SIZES = (200, 800) if _SCALE == "paper" else (50, 200)
+
+
+def _seconds_per_round(n_pms: int, rounds: int = 20) -> float:
+    scenario = Scenario(
+        n_pms=n_pms, ratio=3, rounds=rounds, warmup_rounds=40,
+        trace_params=GoogleTraceParams(rounds_per_day=40),
+    )
+    dc, sim, streams = build_environment(scenario, seed=7)
+    policy = make_policy("GLAP", config=GlapConfig(aggregation_rounds=10))
+    policy.attach(dc, sim, streams, scenario.warmup_rounds)
+    for _ in range(scenario.warmup_rounds):
+        dc.advance_round()
+        sim.run_round()
+    policy.end_warmup(dc, sim)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        dc.advance_round()
+        sim.run_round()
+    return (time.perf_counter() - start) / rounds
+
+
+def test_consolidation_round_scales_linearly(benchmark):
+    def measure():
+        return {n: _seconds_per_round(n) for n in _SIZES}
+
+    timings = once(benchmark, measure)
+    small, large = _SIZES
+    print(f"\nseconds/round: {timings}")
+    size_factor = large / small
+    time_factor = timings[large] / max(timings[small], 1e-9)
+    # Allow constant overheads to blur the picture, but reject anything
+    # approaching quadratic growth.
+    assert time_factor < 2.5 * size_factor, (
+        f"round cost grew {time_factor:.1f}x for a {size_factor:.0f}x size "
+        "increase — super-linear scaling"
+    )

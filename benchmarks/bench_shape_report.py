@@ -1,0 +1,22 @@
+"""Overall paper-shape report: every qualitative claim of section V
+checked against the measured sweep in one place (see
+repro.experiments.expectations for the encoded paper numbers)."""
+
+from repro.experiments.expectations import check_shape, format_shape_report
+
+from common import SHAPE_CHECKS, get_sweep, once, report
+
+
+def test_shape_report(benchmark):
+    sweep = get_sweep()
+    checks = once(benchmark, check_shape, sweep)
+    report("shape_report", format_shape_report(checks))
+
+    if not SHAPE_CHECKS:
+        return  # smoke scale: no statistical shape assertions
+
+    held = sum(1 for c in checks if c.holds)
+    assert held >= len(checks) - 1, (
+        "more than one of the paper's qualitative claims failed:\n"
+        + format_shape_report(checks)
+    )

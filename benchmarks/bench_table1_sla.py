@@ -1,0 +1,53 @@
+"""Table I — the SLAV metric (SLAVO x SLALM) over the size x ratio grid.
+
+Paper shape: GLAP < EcoCloud < PABFD < GRMP at every grid point, with
+SLAV growing as the workload ratio increases; GLAP and EcoCloud are
+orders of magnitude below GRMP and PABFD.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import format_table1, table1_sla
+
+from common import SHAPE_CHECKS, get_sweep, once, report
+
+
+def test_table1_sla(benchmark):
+    sweep = get_sweep()
+    rows = once(benchmark, table1_sla, sweep)
+    report("table1_sla", format_table1(rows, sweep.policies))
+
+    if not SHAPE_CHECKS:
+        return  # smoke scale: no statistical shape assertions
+
+    # GLAP has the lowest SLAV on (almost) every grid point; require it
+    # to win the majority and never be the worst.
+    wins = 0
+    for row in rows:
+        values = {p: row[p] for p in sweep.policies}
+        if min(values, key=values.get) == "GLAP":
+            wins += 1
+        assert max(values, key=values.get) != "GLAP", (
+            f"{row['scenario']}: GLAP must never have the worst SLAV ({values})"
+        )
+    assert wins >= len(rows) / 2, f"GLAP lowest SLAV on only {wins}/{len(rows)} points"
+
+    # GLAP (threshold-free, predictive) stays well below the two
+    # aggressive policies on average.
+    means = {
+        p: float(np.mean([row[p] for row in rows])) for p in sweep.policies
+    }
+    print("mean SLAV:", {k: f"{v:.3g}" for k, v in means.items()})
+    for aggressive in ("GRMP", "PABFD"):
+        assert means["GLAP"] < 0.7 * means[aggressive], (
+            f"GLAP SLAV {means['GLAP']:.3g} not clearly below "
+            f"{aggressive} {means[aggressive]:.3g}"
+        )
+
+    # SLAV grows with workload ratio for GLAP (paper: "with increment of
+    # workload ... SLA violation degree of the protocols increases").
+    ratios = sorted({s.ratio for s in sweep.scenarios})
+    if len(ratios) >= 2:
+        lo = np.mean([row["GLAP"] for row in rows if row["ratio"] == ratios[0]])
+        hi = np.mean([row["GLAP"] for row in rows if row["ratio"] == ratios[-1]])
+        assert hi >= lo * 0.5  # allow noise, forbid collapse

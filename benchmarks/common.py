@@ -1,0 +1,103 @@
+"""Shared machinery for the benchmark harness.
+
+Every paper figure/table is regenerated from the same policy sweep, so
+the sweep is computed once per pytest session and shared (module-level
+cache).  The default scale is laptop-sized; setting ``REPRO_BENCH_SCALE``
+changes it:
+
+* ``REPRO_BENCH_SCALE=quick`` — tiny smoke scale (~30 s total);
+* unset / ``default``         — 40 PMs, ratios 2/3/4, 1 compressed day
+  of warmup + 1 of evaluation, 2 repetitions (a few minutes total);
+* ``REPRO_BENCH_SCALE=paper`` — the paper's grid (500/1000/2000 PMs,
+  720+700 rounds, 20 reps).  Hours of CPU; run overnight.
+
+EXPERIMENTS.md records which scale produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.figures import SweepResults, run_sweep
+from repro.experiments.runner import POLICY_NAMES
+from repro.experiments.scenarios import Scenario, paper_grid, scaled_grid
+
+__all__ = [
+    "SHAPE_CHECKS",
+    "bench_scenarios",
+    "get_sweep",
+    "assert_ordering_mostly",
+    "once",
+    "report",
+]
+
+#: Where benches persist their formatted tables (pytest captures stdout
+#: of passing tests, so a durable artefact is written as well).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+
+#: Paper-shape assertions need statistical room; the "quick" smoke scale
+#: (16 PMs, 1 repetition) only verifies that everything runs end to end.
+SHAPE_CHECKS = _SCALE != "quick"
+
+_sweep_cache: Dict[Tuple, SweepResults] = {}
+
+
+def bench_scenarios() -> List[Scenario]:
+    """The scenario list for the active benchmark scale."""
+    if _SCALE == "paper":
+        return paper_grid()
+    if _SCALE == "quick":
+        return scaled_grid(sizes=(16,), ratios=(2, 3), rounds=60,
+                           warmup_rounds=60, repetitions=1)
+    return scaled_grid(sizes=(40,), ratios=(2, 3, 4), rounds=180,
+                       warmup_rounds=180, repetitions=2)
+
+
+def get_sweep(policies: Sequence[str] = POLICY_NAMES) -> SweepResults:
+    """The (cached) full sweep for the active scale."""
+    key = (_SCALE, tuple(policies))
+    if key not in _sweep_cache:
+        _sweep_cache[key] = run_sweep(bench_scenarios(), policies=policies)
+    return _sweep_cache[key]
+
+
+def assert_ordering_mostly(
+    per_policy: Dict[str, float],
+    expected_best: str,
+    expected_worst_pair: Tuple[str, str],
+    label: str,
+) -> None:
+    """Soft shape check: ``expected_best`` must be the minimum, and the
+    maximum must come from ``expected_worst_pair`` — the granularity at
+    which the paper's orderings are robust at reduced scale."""
+    best = min(per_policy, key=per_policy.get)
+    worst = max(per_policy, key=per_policy.get)
+    assert best == expected_best, (
+        f"{label}: expected {expected_best} best, got {best} ({per_policy})"
+    )
+    assert worst in expected_worst_pair, (
+        f"{label}: expected worst among {expected_worst_pair}, got {worst} "
+        f"({per_policy})"
+    )
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench's formatted table and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}_{_SCALE}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation sweeps are far too heavy for statistical repetition; one
+    timed execution per session is the appropriate measurement.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Bursty workload patterns — the paper's future-work scenario.
+
+Section VI: "As future work, we would like to evaluate our work under
+bursty workload patterns."  This example does exactly that: it compares
+all four policies under the standard Google-like trace and under a
+burst-heavy variant (frequent, long, large spikes), and reports how much
+each policy degrades.
+
+Run:  python examples/bursty_workloads.py
+"""
+
+import numpy as np
+
+from repro import POLICY_NAMES, Scenario, make_policy, run_policy
+from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
+
+
+def run_grid(trace_params: GoogleTraceParams, label: str) -> dict:
+    scenario = Scenario(
+        n_pms=40,
+        ratio=3,
+        rounds=150,
+        warmup_rounds=150,
+        trace_params=trace_params,
+    )
+    print(f"\n=== {label} ===")
+    out = {}
+    for name in POLICY_NAMES:
+        result = run_policy(scenario, make_policy(name), seed=scenario.seed_of(0))
+        out[name] = result
+        print(
+            f"{name:9s} SLAV={result.slav:9.2e} "
+            f"overloaded~{result.mean_of('overloaded'):5.2f} "
+            f"migrations={result.total_migrations:4d}"
+        )
+    return out
+
+
+def main() -> None:
+    normal_params = GoogleTraceParams(rounds_per_day=150)
+    bursty = GoogleLikeTraceGenerator.bursty().params
+    # Keep the compressed day; take the burst knobs from the preset.
+    bursty_params = GoogleTraceParams(
+        rounds_per_day=150,
+        burst_start_p=bursty.burst_start_p,
+        burst_mean_duration=bursty.burst_mean_duration,
+        burst_magnitude=bursty.burst_magnitude,
+        ar1_sigma=bursty.ar1_sigma,
+    )
+
+    normal = run_grid(normal_params, "standard Google-like workload")
+    burst = run_grid(bursty_params, "bursty workload (paper future work)")
+
+    print("\n=== bursty / standard ratios ===")
+    print(f"{'policy':9s} {'overloaded':>11s} {'active PMs':>11s} {'SLAV':>8s}")
+    for name in POLICY_NAMES:
+        o = burst[name].mean_of("overloaded") / max(
+            normal[name].mean_of("overloaded"), 1e-6
+        )
+        a = burst[name].mean_of("active") / max(normal[name].mean_of("active"), 1e-6)
+        v = burst[name].slav / max(normal[name].slav, 1e-12)
+        print(f"{name:9s} {o:10.2f}x {a:10.2f}x {v:7.2f}x")
+    print(
+        "\nReading: burst-carrying demand histories raise every VM's\n"
+        "running average, so all policies pack less aggressively (more\n"
+        "active PMs) — the consolidation/SLA trade-off shifts rather than\n"
+        "simply degrading.  Compare the GLAP row against GRMP: GLAP's\n"
+        "learned Q_in converts the extra variability into headroom, while\n"
+        "GRMP's fixed 0.8 threshold cannot adapt either way."
+    )
+
+
+if __name__ == "__main__":
+    main()

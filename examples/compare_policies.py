@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compare GLAP against GRMP, EcoCloud and PABFD on the same workload.
+
+This is the paper's core experiment in miniature: all four policies run
+on the *identical* trace and initial VM placement (per seed), and the
+script prints a side-by-side of the section-V metrics plus an ASCII
+timeline of active/overloaded PMs.
+
+Run:  python examples/compare_policies.py [--pms 40] [--ratio 3] [--reps 2]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import POLICY_NAMES, Scenario, make_policy, run_policy
+from repro.traces.google import GoogleTraceParams
+from repro.util.asciiplot import sparkline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pms", type=int, default=40)
+    parser.add_argument("--ratio", type=int, default=3)
+    parser.add_argument("--rounds", type=int, default=180)
+    parser.add_argument("--reps", type=int, default=1)
+    args = parser.parse_args()
+
+    scenario = Scenario(
+        n_pms=args.pms,
+        ratio=args.ratio,
+        rounds=args.rounds,
+        warmup_rounds=args.rounds,
+        repetitions=args.reps,
+        trace_params=GoogleTraceParams(rounds_per_day=args.rounds),
+    )
+    print(f"{scenario.n_pms} PMs x {scenario.n_vms} VMs, "
+          f"{scenario.rounds}-round day, {args.reps} repetition(s)\n")
+
+    header = (f"{'policy':9s} {'SLAV':>9s} {'migs':>6s} {'active':>7s} "
+              f"{'overl':>6s} {'overl%':>7s} {'energy J':>9s}")
+    print(header)
+    print("-" * len(header))
+
+    all_results = {}
+    for name in POLICY_NAMES:
+        runs = [
+            run_policy(scenario, make_policy(name), seed=scenario.seed_of(rep))
+            for rep in range(args.reps)
+        ]
+        all_results[name] = runs
+        print(
+            f"{name:9s} "
+            f"{np.mean([r.slav for r in runs]):9.2e} "
+            f"{np.mean([r.total_migrations for r in runs]):6.0f} "
+            f"{np.mean([r.mean_of('active') for r in runs]):7.1f} "
+            f"{np.mean([r.mean_of('overloaded') for r in runs]):6.2f} "
+            f"{100 * np.mean([r.mean_of('overloaded_fraction') for r in runs]):6.1f}% "
+            f"{np.mean([r.migration_energy_j for r in runs]):9.0f}"
+        )
+    baseline = np.mean([r.bfd_baseline_pms for r in all_results["GLAP"]])
+    print(f"\noffline BFD packing baseline: {baseline:.1f} PMs")
+
+    print("\noverloaded PMs over the day (first repetition):")
+    for name in POLICY_NAMES:
+        series = all_results[name][0].series["overloaded"]
+        print(f"  {name:9s} |{sparkline(series)}| peak {series.max():.0f}")
+
+    print("\nactive PMs over the day (first repetition):")
+    for name in POLICY_NAMES:
+        series = all_results[name][0].series["active"]
+        print(f"  {name:9s} |{sparkline(series)}| end {series[-1]:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Reproduce Figure 5: two-phase gossip learning convergence.
+
+Shows the cosine similarity of PMs' Q-tables per cycle: during the
+*learning* phase each PM trains on its own neighbourhood and similarity
+stalls well below 1 (WOG); once the *aggregation* phase starts, push-pull
+averaging drives every PM to identical Q-values within a few cycles (WG).
+
+Run:  python examples/convergence_study.py [--pms 60]
+"""
+
+import argparse
+
+from repro.core.glap import GlapConfig
+from repro.experiments.figures import figure5_convergence, format_figure5
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pms", type=int, default=60)
+    parser.add_argument("--warmup", type=int, default=120)
+    args = parser.parse_args()
+
+    scenario = Scenario(
+        n_pms=args.pms,
+        ratio=2,
+        rounds=10,  # unused: Figure 5 only needs the warmup
+        warmup_rounds=args.warmup,
+        trace_params=GoogleTraceParams(rounds_per_day=args.warmup),
+    )
+    data = figure5_convergence(
+        scenario,
+        ratios=(2, 3, 4),
+        sample_every=5,
+        glap_config=GlapConfig(aggregation_rounds=30),
+    )
+
+    for ratio, series in sorted(data.items()):
+        print(f"\nVM:PM ratio {ratio} — cosine similarity per cycle")
+        for rnd, sim_score, phase in zip(
+            series["round"], series["similarity"], series["phase"]
+        ):
+            bar = "#" * int(sim_score * 40)
+            tag = "WOG" if phase == "learn" else "WG "
+            print(f"  cycle {rnd:4d} [{tag}] {sim_score:5.3f} |{bar}")
+
+    print()
+    print(format_figure5(data))
+    print(
+        "\nReading: WOG (learning only) stalls below full agreement; the\n"
+        "aggregation phase (WG) rapidly converges all PMs to identical\n"
+        "Q-values — the property Algorithm 3 relies on when a sender\n"
+        "evaluates Q_in on the receiver's behalf."
+    )
+
+
+if __name__ == "__main__":
+    main()

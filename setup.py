@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools predates reliable PEP 660 editable installs (metadata lives
+in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Consolidation policies the paper compares against.
+
+* :mod:`~repro.baselines.grmp` — GRMP [Wuhib et al.]: aggressive gossip
+  packing with a static 0.8 upper threshold;
+* :mod:`~repro.baselines.ecocloud` — EcoCloud [Mastroianni et al.]:
+  probabilistic gradual thresholds (T1 = 0.3, T2 = 0.8) with Bernoulli
+  accept trials;
+* :mod:`~repro.baselines.pabfd` — PABFD [Beloglazov & Buyya]: the
+  centralised power-aware best-fit-decreasing heuristic with a
+  MAD-adaptive overload threshold;
+* :mod:`~repro.baselines.bfd` — the offline Best-Fit-Decreasing packing
+  used as the no-SLA-violation packing baseline of Figure 6;
+* :mod:`~repro.baselines.thresholds` — MAD / IQR robust threshold
+  estimators.
+
+All policies implement :class:`~repro.baselines.base.ConsolidationPolicy`
+so the experiment runner treats GLAP and baselines uniformly.
+"""
+
+from repro.baselines.base import ConsolidationPolicy
+from repro.baselines.thresholds import mad, iqr, mad_upper_threshold, iqr_upper_threshold
+from repro.baselines.bfd import bfd_pack, bfd_baseline_active_pms
+from repro.baselines.grmp import GrmpConfig, GrmpPolicy, GrmpProtocol
+from repro.baselines.ecocloud import EcoCloudConfig, EcoCloudPolicy, EcoCloudProtocol
+from repro.baselines.pabfd import PabfdConfig, PabfdPolicy, PabfdController
+
+__all__ = [
+    "ConsolidationPolicy",
+    "mad",
+    "iqr",
+    "mad_upper_threshold",
+    "iqr_upper_threshold",
+    "bfd_pack",
+    "bfd_baseline_active_pms",
+    "GrmpConfig",
+    "GrmpPolicy",
+    "GrmpProtocol",
+    "EcoCloudConfig",
+    "EcoCloudPolicy",
+    "EcoCloudProtocol",
+    "PabfdConfig",
+    "PabfdPolicy",
+    "PabfdController",
+]

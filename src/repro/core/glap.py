@@ -1,0 +1,278 @@
+"""GLAP protocol wiring: Cyclon + two-phase learning + consolidation.
+
+:class:`GlapPolicy` assembles the paper's full component stack
+(Figure 2) onto a simulation:
+
+* one shared :class:`~repro.overlay.cyclon.CyclonProtocol` instance
+  (membership);
+* a :class:`_GlapPhaseProtocol` per the whole node set, which dispatches
+  each node's round to the current phase:
+
+  - ``LEARN``       — Algorithm 1 (local training), during warmup;
+  - ``AGGREGATE``   — Algorithm 2 (gossip averaging), the tail of warmup;
+  - ``CONSOLIDATE`` — Algorithm 3, the evaluation phase.
+
+The phase split realises the paper's experimental setup: "For GLAP, we
+executed 700 more rounds to calculate Q-values beforehand."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.aggregation import QAggregationProtocol
+from repro.core.consolidation import GlapConsolidationProtocol
+from repro.core.learning import GossipLearningProtocol
+from repro.core.qlearning import QLearningConfig, QLearningModel
+from repro.baselines.base import ConsolidationPolicy
+from repro.overlay.cyclon import CyclonProtocol
+from repro.simulator.protocol import Protocol
+from repro.util.validation import check_fraction, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datacenter.cluster import DataCenter
+    from repro.simulator.engine import Simulation
+    from repro.simulator.node import Node
+    from repro.util.rng import RngStreams
+
+__all__ = ["GlapPhase", "GlapConfig", "GlapPolicy"]
+
+
+class GlapPhase(enum.Enum):
+    LEARN = "learn"
+    AGGREGATE = "aggregate"
+    CONSOLIDATE = "consolidate"
+
+
+@dataclass(frozen=True)
+class GlapConfig:
+    """All GLAP knobs in one place."""
+
+    qlearning: QLearningConfig = field(default_factory=QLearningConfig)
+    #: Cyclon view size / shuffle length.
+    view_size: int = 20
+    shuffle_len: int = 8
+    #: Learning runs only on PMs with utilisation <= this (paper: PMs
+    #: with >= 50% free CPU in the Figure 5 experiment).
+    learning_utilization_threshold: float = 0.5
+    #: The paper's ``k``: simulated migrations per PM per learning round.
+    learning_iterations_per_round: int = 20
+    #: A node trains every this-many rounds (staggered across nodes).
+    learning_period: int = 2
+    #: Profile duplication target (x PM capacity) to reach heavy states.
+    learning_coverage_target: float = 2.0
+    #: Rounds of the aggregation phase at the end of warmup.
+    aggregation_rounds: int = 30
+    #: Ablation switch: disable the Q_in admission guard.
+    use_q_in_guard: bool = True
+    #: Overlay driving peer sampling: "cyclon" (the paper) or "static"
+    #: (a fixed random graph — the Figure 1 pathology case, since it
+    #: cannot reconfigure around switched-off PMs).
+    overlay: str = "cyclon"
+    #: Network-topology awareness (the paper's future-work extension):
+    #: probability that a gossip exchange is directed at a same-rack
+    #: peer.  0 disables the extension (the paper's published GLAP).
+    rack_bias: float = 0.0
+    #: PMs per rack when rack_bias > 0.
+    rack_size: int = 16
+
+
+    def __post_init__(self) -> None:
+        check_fraction(self.learning_utilization_threshold, "learning_utilization_threshold")
+        check_positive(self.learning_iterations_per_round, "learning_iterations_per_round")
+        check_positive(self.learning_period, "learning_period")
+        check_positive(self.aggregation_rounds, "aggregation_rounds")
+        if self.view_size <= 0 or not 1 <= self.shuffle_len <= self.view_size:
+            raise ValueError(
+                f"invalid overlay sizes: view_size={self.view_size}, "
+                f"shuffle_len={self.shuffle_len}"
+            )
+        if self.overlay not in ("cyclon", "static"):
+            raise ValueError(f"overlay must be 'cyclon' or 'static', got {self.overlay!r}")
+        check_fraction(self.rack_bias, "rack_bias")
+        check_positive(self.rack_size, "rack_size")
+
+
+class _GlapPhaseProtocol(Protocol):
+    """Dispatches a node's round to the protocol of the current phase."""
+
+    def __init__(
+        self,
+        learning: GossipLearningProtocol,
+        aggregation: QAggregationProtocol,
+        consolidation: GlapConsolidationProtocol,
+    ) -> None:
+        self.phase = GlapPhase.LEARN
+        self.learning = learning
+        self.aggregation = aggregation
+        self.consolidation = consolidation
+
+    def execute_round(self, node: "Node", sim: "Simulation") -> None:
+        if self.phase is GlapPhase.LEARN:
+            self.learning.execute_round(node, sim)
+        elif self.phase is GlapPhase.AGGREGATE:
+            self.aggregation.execute_round(node, sim)
+        else:
+            self.consolidation.execute_round(node, sim)
+
+
+class GlapPolicy(ConsolidationPolicy):
+    """The paper's contribution, packaged as a runnable policy."""
+
+    name = "GLAP"
+
+    def __init__(
+        self,
+        config: Optional[GlapConfig] = None,
+        pretrained: Optional[QLearningModel] = None,
+    ) -> None:
+        """``pretrained``: seed every PM's model with a copy of an
+        already-learned model (e.g. exported from a previous run via
+        :meth:`export_model`) — the paper's "continue using the previous
+        Q-values" mode.  Warmup learning then refines it."""
+        self.config = config if config is not None else GlapConfig()
+        self.pretrained = pretrained
+        # Populated by attach():
+        self.models: Dict[int, QLearningModel] = {}
+        self.cyclon: Optional[CyclonProtocol] = None
+        self.phase_protocol: Optional[_GlapPhaseProtocol] = None
+        self._warmup_rounds = 0
+        self._rounds_seen = 0
+
+    # -- ConsolidationPolicy ------------------------------------------------
+
+    def attach(
+        self,
+        dc: "DataCenter",
+        sim: "Simulation",
+        streams: "RngStreams",
+        warmup_rounds: int,
+    ) -> None:
+        cfg = self.config
+        if warmup_rounds <= cfg.aggregation_rounds:
+            raise ValueError(
+                f"warmup_rounds ({warmup_rounds}) must exceed "
+                f"aggregation_rounds ({cfg.aggregation_rounds}) to leave "
+                "room for the learning phase"
+            )
+        self._warmup_rounds = warmup_rounds
+        self._rounds_seen = 0
+
+        node_ids = [n.node_id for n in sim.nodes]
+        if cfg.overlay == "cyclon":
+            self.cyclon = CyclonProtocol(
+                view_size=min(cfg.view_size, len(node_ids) - 1),
+                shuffle_len=min(cfg.shuffle_len, cfg.view_size, len(node_ids) - 1),
+                rng=streams.get("glap/cyclon"),
+            )
+            self.cyclon.bootstrap_random(node_ids)
+            sampler = self.cyclon
+        else:
+            from repro.overlay.static import StaticOverlay
+
+            self.cyclon = None
+            sampler = StaticOverlay.random_regular(
+                node_ids,
+                degree=min(cfg.view_size, len(node_ids) - 1),
+                rng=streams.get("glap/static"),
+            )
+        overlay_protocol = sampler  # the Protocol registered on nodes
+        self.topology = None
+        if cfg.rack_bias > 0.0:
+            from repro.datacenter.topology import RackBiasedSampler, RackTopology
+
+            self.topology = RackTopology(len(node_ids), rack_size=cfg.rack_size)
+            sampler = RackBiasedSampler(
+                sampler,
+                self.topology,
+                rack_bias=cfg.rack_bias,
+                rng=streams.get("glap/rack-bias"),
+            )
+        self._sampler = sampler
+
+        if self.pretrained is not None:
+            self.models = {nid: self.pretrained.copy() for nid in node_ids}
+        else:
+            self.models = {nid: QLearningModel(cfg.qlearning) for nid in node_ids}
+        learning = GossipLearningProtocol(
+            self.models,
+            sampler,
+            streams.get("glap/learning"),
+            utilization_threshold=cfg.learning_utilization_threshold,
+            iterations_per_round=cfg.learning_iterations_per_round,
+            coverage_target=cfg.learning_coverage_target,
+            learning_period=cfg.learning_period,
+        )
+        aggregation = QAggregationProtocol(
+            self.models, sampler, streams.get("glap/aggregation")
+        )
+        consolidation = GlapConsolidationProtocol(
+            dc,
+            self.models,
+            sampler,
+            use_q_in_guard=cfg.use_q_in_guard,
+        )
+        self.phase_protocol = _GlapPhaseProtocol(learning, aggregation, consolidation)
+
+        dispatcher = _PhaseDispatcher(self)  # shared: one schedule tick per round
+        for node in sim.nodes:
+            node.register("overlay", overlay_protocol)
+            node.register("glap", dispatcher)
+
+    def end_warmup(self, dc: "DataCenter", sim: "Simulation") -> None:
+        assert self.phase_protocol is not None, "attach() must run first"
+        self.phase_protocol.phase = GlapPhase.CONSOLIDATE
+
+    # -- phase scheduling (driven by round count) ----------------------------------
+
+    def _observe_round(self) -> None:
+        """Advance the warmup phase schedule by one round."""
+        self._rounds_seen += 1
+        assert self.phase_protocol is not None
+        if self.phase_protocol.phase is GlapPhase.LEARN:
+            learn_rounds = self._warmup_rounds - self.config.aggregation_rounds
+            if self._rounds_seen >= learn_rounds:
+                self.phase_protocol.phase = GlapPhase.AGGREGATE
+
+    @property
+    def phase(self) -> GlapPhase:
+        assert self.phase_protocol is not None
+        return self.phase_protocol.phase
+
+    def export_model(self) -> QLearningModel:
+        """A copy of one PM's learned model (post-aggregation they are
+        all but identical) — feed it back via ``GlapPolicy(pretrained=...)``."""
+        if not self.models:
+            raise RuntimeError("export_model before attach(): nothing learned")
+        return next(iter(self.models.values())).copy()
+
+    @property
+    def consolidation(self) -> GlapConsolidationProtocol:
+        assert self.phase_protocol is not None
+        return self.phase_protocol.consolidation
+
+
+class _PhaseDispatcher(Protocol):
+    """Per-node protocol delegating to the policy's phase protocol.
+
+    A tiny indirection so the *first* node executing in a round advances
+    the policy's phase schedule exactly once per round (via
+    ``on_round_start`` of node 0's registration — every node calls it but
+    the policy counts rounds, not calls).
+    """
+
+    def __init__(self, policy: GlapPolicy) -> None:
+        self._policy = policy
+        self._round_token = -1
+
+    def on_round_start(self, node: "Node", sim: "Simulation") -> None:
+        # Advance the schedule once per engine round (idempotent per round).
+        if sim.round_index != self._round_token:
+            self._round_token = sim.round_index
+            self._policy._observe_round()
+
+    def execute_round(self, node: "Node", sim: "Simulation") -> None:
+        assert self._policy.phase_protocol is not None
+        self._policy.phase_protocol.execute_round(node, sim)

@@ -1,0 +1,280 @@
+"""Gossip Learning, phase 1: local training (paper Algorithm 1).
+
+A lightly-loaded PM (utilisation below a threshold, so training does not
+hurt collocated tenants) gathers VM *profiles* — current and average
+demand snapshots — from itself plus one neighbour, duplicates them if
+needed to cover heavily-loaded states, and then simulates consolidation
+``k`` times per round: split the profiles into a pretend sender and a
+pretend target, move one random VM across, and apply the Q-learning
+update to both the *out* map (sender's perspective) and the *in* map
+(recipient's perspective).
+
+State convention (Figure 3 of the paper): the state *before* the action
+and the action itself are computed from **average** demands; the state
+*after* the action from **current** demands — that is how Q-values come
+to encode the gap between a VM's typical and instantaneous load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.qlearning import QLearningModel
+from repro.core.states import state_code_fast, state_of_utilization
+from repro.datacenter.pm import PhysicalMachine
+from repro.datacenter.resources import N_RESOURCES
+from repro.overlay.sampler import PeerSampler
+from repro.simulator.protocol import Protocol
+from repro.util.validation import check_fraction, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulation
+    from repro.simulator.node import Node
+
+__all__ = ["VmProfile", "LocalTrainer", "GossipLearningProtocol"]
+
+# Estimated bytes per profile on the wire (2 demand vectors + count).
+_PROFILE_BYTES = 40
+
+
+@dataclass(frozen=True)
+class VmProfile:
+    """A transferable snapshot of one VM's demand behaviour.
+
+    ``current_abs`` / ``average_abs`` are absolute demands ([MIPS, MB]);
+    ``spec_capacity`` is the VM's nominal capacity vector, needed to
+    compute the action level on the VM's own scale.
+    """
+
+    current_abs: np.ndarray
+    average_abs: np.ndarray
+    spec_capacity: np.ndarray
+
+    @classmethod
+    def of_vm(cls, vm) -> "VmProfile":
+        return cls(
+            current_abs=vm.current_demand_abs(),
+            average_abs=vm.average_demand_abs(),
+            spec_capacity=vm.spec.capacity_vector(),
+        )
+
+    def action_code(self) -> int:
+        """The action (VM load level) from *average* demand on the VM scale."""
+        frac = self.average_abs / self.spec_capacity
+        return state_code_fast(max(float(frac[0]), 0.0), max(float(frac[1]), 0.0))
+
+
+def _group_state(
+    profiles: Sequence[VmProfile],
+    pm_capacity: np.ndarray,
+    *,
+    use_average: bool,
+) -> int:
+    """State of a (simulated) PM hosting ``profiles``."""
+    total = np.zeros(N_RESOURCES, dtype=np.float64)
+    for p in profiles:
+        total += p.average_abs if use_average else p.current_abs
+    return state_of_utilization(total / pm_capacity)
+
+
+class LocalTrainer:
+    """Runs Algorithm 1's inner loop over a pool of VM profiles."""
+
+    def __init__(
+        self,
+        model: QLearningModel,
+        pm_capacity: np.ndarray,
+        rng: np.random.Generator,
+        iterations_per_round: int = 20,
+        coverage_target: float = 2.0,
+        max_profiles: int = 256,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        model:
+            The PM's Q-learning model, updated in place.
+        pm_capacity:
+            Capacity vector of the simulated PMs ([MIPS, MB]).
+        iterations_per_round:
+            The paper's ``k``.
+        coverage_target:
+            Duplicate profiles until aggregate average demand reaches
+            this multiple of PM capacity — "to cover highly loaded
+            states" the training pool must be able to overload a PM.
+        max_profiles:
+            Safety cap on pool growth from duplication.
+        """
+        self.model = model
+        self.pm_capacity = np.asarray(pm_capacity, dtype=np.float64)
+        if self.pm_capacity.shape != (N_RESOURCES,):
+            raise ValueError(
+                f"pm_capacity must have shape ({N_RESOURCES},), got {self.pm_capacity.shape}"
+            )
+        self._rng = rng
+        self.iterations_per_round = int(check_positive(iterations_per_round, "iterations_per_round"))
+        self.coverage_target = check_positive(coverage_target, "coverage_target")
+        self.max_profiles = int(check_positive(max_profiles, "max_profiles"))
+
+    # -- pool preparation ---------------------------------------------------
+
+    def prepare_pool(self, profiles: Sequence[VmProfile]) -> List[VmProfile]:
+        """Duplicate profiles until heavy states are reachable.
+
+        Returns a new list; the originals are shared (profiles are
+        immutable).
+        """
+        pool = list(profiles)
+        if not pool:
+            return pool
+        total = np.zeros(N_RESOURCES)
+        for p in pool:
+            total += p.average_abs
+        target = self.coverage_target * self.pm_capacity
+        i = 0
+        while np.any(total < target) and len(pool) < self.max_profiles:
+            dup = pool[i % len(profiles)]
+            pool.append(dup)
+            total += dup.average_abs
+            i += 1
+        return pool
+
+    # -- one training round ------------------------------------------------------
+
+    def train_round(self, profiles: Sequence[VmProfile]) -> int:
+        """Run ``k`` simulated migrations; returns updates performed.
+
+        The inner loop is vectorised: the pool is converted to dense
+        demand matrices once, and each iteration carves sender/target
+        groups out of one permutation via cumulative sums — no per-VM
+        Python objects are touched inside the ``k`` loop.
+        """
+        pool = self.prepare_pool(profiles)
+        n = len(pool)
+        if n < 2:
+            return 0
+        avg = np.vstack([p.average_abs for p in pool]) / self.pm_capacity
+        cur = np.vstack([p.current_abs for p in pool]) / self.pm_capacity
+        actions = np.array([p.action_code() for p in pool], dtype=np.int64)
+
+        alpha = self.model.config.alpha
+        gamma = self.model.config.gamma
+        reward_out = self.model.config.reward_out
+        reward_in = self.model.config.reward_in
+        q_out, q_in = self.model.q_out, self.model.q_in
+
+        updates = 0
+        for _ in range(self.iterations_per_round):
+            # vmss ⊂ vms, vmst ⊂ vms: disjoint random subsets per
+            # iteration.  Subset sizes are drawn so the simulated PMs
+            # span the whole load range a real exchange can encounter —
+            # senders from "almost empty" to "overloaded" (their relief
+            # path needs coverage), targets likewise.  Without load-aimed
+            # sampling, a duplicated pool makes most simulated targets
+            # overloaded from the start and Q_in learns to reject
+            # everything.
+            perm = self._rng.permutation(n)
+            cums = np.cumsum(avg[perm], axis=0).max(axis=1)
+            k_s = int(np.searchsorted(cums, self._rng.uniform(0.15, 1.3))) + 1
+            k_s = min(k_s, n - 1)  # leave at least one profile for the target
+            rest = perm[k_s:]
+            cumt = np.cumsum(avg[rest], axis=0).max(axis=1)
+            k_t = int(np.searchsorted(cumt, self._rng.uniform(0.1, 1.2))) + 1
+            senders = perm[:k_s]
+            targets = rest[:k_t]
+
+            pick = senders[int(self._rng.integers(k_s))]
+            action = int(actions[pick])
+
+            # Sender update: state before from averages (with vm), state
+            # after from currents (without vm).
+            s_avg = avg[senders].sum(axis=0)
+            s_cur = cur[senders].sum(axis=0) - cur[pick]
+            s_before = state_code_fast(s_avg[0], s_avg[1])
+            s_after = state_code_fast(max(s_cur[0], 0.0), max(s_cur[1], 0.0))
+            q_out.update(
+                s_before, action, reward_out.of_state(s_after), s_after, alpha, gamma
+            )
+
+            # Recipient update: state before from averages (without vm),
+            # state after from currents (with vm).
+            t_avg = avg[targets].sum(axis=0)
+            t_cur = cur[targets].sum(axis=0) + cur[pick]
+            t_before = state_code_fast(t_avg[0], t_avg[1])
+            t_after = state_code_fast(t_cur[0], t_cur[1])
+            q_in.update(
+                t_before, action, reward_in.of_state(t_after), t_after, alpha, gamma
+            )
+            updates += 1
+        return updates
+
+
+class GossipLearningProtocol(Protocol):
+    """Algorithm 1 as a round protocol: the *learning phase*.
+
+    Per round, a PM whose utilisation is at most ``utilization_threshold``
+    pulls the VM profiles of one random neighbour, merges them with its
+    own and trains its local model.  Models are per node (``models``
+    keyed by node id); they diverge across PMs until the aggregation
+    phase unifies them.
+    """
+
+    def __init__(
+        self,
+        models: dict,
+        sampler: PeerSampler,
+        rng: np.random.Generator,
+        utilization_threshold: float = 0.5,
+        iterations_per_round: int = 20,
+        coverage_target: float = 2.0,
+        learning_period: int = 1,
+    ) -> None:
+        self.models = models
+        self.sampler = sampler
+        self._rng = rng
+        self.utilization_threshold = check_fraction(
+            utilization_threshold, "utilization_threshold"
+        )
+        self.iterations_per_round = int(
+            check_positive(iterations_per_round, "iterations_per_round")
+        )
+        self.coverage_target = check_positive(coverage_target, "coverage_target")
+        # The paper leaves the learning cadence to "a predefined policy
+        # e.g. ... a fixed time interval"; nodes are staggered so some
+        # PMs train every round.
+        self.learning_period = int(check_positive(learning_period, "learning_period"))
+
+    def execute_round(self, node: "Node", sim: "Simulation") -> None:
+        if (sim.round_index + node.node_id) % self.learning_period != 0:
+            return
+        pm: PhysicalMachine = node.payload
+        # Only lightly loaded PMs train (no impact on collocated VMs).
+        if float(pm.current_utilization().max()) > self.utilization_threshold:
+            return
+        peer_id = self.sampler.select_peer(node, sim)
+        if peer_id is None:
+            return
+        peer_pm: PhysicalMachine = sim.node(peer_id).payload
+        profiles = [VmProfile.of_vm(v) for v in pm.vms]
+        peer_profiles = [VmProfile.of_vm(v) for v in peer_pm.vms]
+        if not sim.network.exchange_ok(
+            node.node_id,
+            peer_id,
+            "glap/profiles",
+            size_bytes=len(peer_profiles) * _PROFILE_BYTES,
+        ):
+            return
+        profiles.extend(peer_profiles)
+        if len(profiles) < 2:
+            return
+        trainer = LocalTrainer(
+            self.models[node.node_id],
+            pm.spec.capacity_vector(),
+            self._rng,
+            iterations_per_round=self.iterations_per_round,
+            coverage_target=self.coverage_target,
+        )
+        trainer.train_round(profiles)

@@ -1,0 +1,176 @@
+"""Sparse state-action value maps with the Q-learning update and the
+gossip merge.
+
+A :class:`QTable` stores only the (state, action) pairs that have been
+observed — the paper's Algorithm 2 distinguishes "exists in both maps"
+from "in only one PM", so sparsity is semantically load-bearing, not an
+optimisation.  Internally it is a dict of ``state -> {action: q}`` so
+that ``max_a Q(s', a)`` (needed by every update) is O(actions of s').
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.states import N_STATES
+from repro.util.validation import check_fraction
+
+__all__ = ["QTable"]
+
+
+class QTable:
+    """A sparse ``Q: (state, action) -> value`` map."""
+
+    __slots__ = ("_by_state",)
+
+    def __init__(self) -> None:
+        self._by_state: Dict[int, Dict[int, float]] = {}
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, state: int, action: int, default: float = 0.0) -> float:
+        actions = self._by_state.get(state)
+        if actions is None:
+            return default
+        return actions.get(action, default)
+
+    def has(self, state: int, action: int) -> bool:
+        actions = self._by_state.get(state)
+        return actions is not None and action in actions
+
+    def set(self, state: int, action: int, value: float) -> None:
+        self._check_key(state, action)
+        self._by_state.setdefault(state, {})[action] = float(value)
+
+    def max_value(self, state: int) -> float:
+        """``max_a Q(state, a)`` over *known* actions; 0.0 when none.
+
+        Zero is the optimistic-neutral default: an unexplored successor
+        state contributes no future value either way.
+        """
+        actions = self._by_state.get(state)
+        if not actions:
+            return 0.0
+        return max(actions.values())
+
+    def best_action(self, state: int, candidates: Optional[List[int]] = None) -> Optional[int]:
+        """Argmax action for ``state``.
+
+        With ``candidates``, restricts the argmax to that list treating
+        unknown pairs as 0.0 (the paper's pi_out restricts to the VMs
+        actually available, some of which may be unexplored); ties break
+        to the lowest action code for determinism.  Without
+        ``candidates``, considers known actions only and returns None
+        for an unknown state.
+        """
+        if candidates is not None:
+            if not candidates:
+                return None
+            return min(candidates, key=lambda a: (-self.get(state, a), a))
+        actions = self._by_state.get(state)
+        if not actions:
+            return None
+        return min(actions, key=lambda a: (-actions[a], a))
+
+    # -- learning -------------------------------------------------------------
+
+    def update(
+        self,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        alpha: float,
+        gamma: float,
+    ) -> float:
+        """The Q-learning update (paper eq. 1)::
+
+            Q_{t+1}(s, a) = (1 - alpha) Q_t(s, a)
+                            + alpha (R + gamma * max_a' Q_t(s', a'))
+
+        Returns the new value.  An unknown (s, a) starts from 0.
+        """
+        check_fraction(alpha, "alpha")
+        check_fraction(gamma, "gamma")
+        old = self.get(state, action)
+        target = reward + gamma * self.max_value(next_state)
+        new = (1.0 - alpha) * old + alpha * target
+        self.set(state, action, new)
+        return new
+
+    # -- gossip merge (Algorithm 2's UPDATE) --------------------------------------
+
+    def merge(self, other: "QTable") -> None:
+        """Symmetric-in-content merge of ``other`` into ``self``.
+
+        For every pair present in both maps the value becomes the
+        average; a pair present only in ``other`` is copied.  (Pairs only
+        in ``self`` keep their value — the peer applies the same rule on
+        its own copy, so after one exchange both sides hold identical
+        maps.)
+        """
+        for state, their_actions in other._by_state.items():
+            mine = self._by_state.setdefault(state, {})
+            for action, theirs in their_actions.items():
+                if action in mine:
+                    mine[action] = 0.5 * (mine[action] + theirs)
+                else:
+                    mine[action] = theirs
+
+    # -- introspection ---------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int], float]]:
+        for state, actions in self._by_state.items():
+            for action, value in actions.items():
+                yield (state, action), value
+
+    def keys(self) -> Iterator[Tuple[int, int]]:
+        for state, actions in self._by_state.items():
+            for action in actions:
+                yield (state, action)
+
+    def states(self) -> List[int]:
+        return list(self._by_state.keys())
+
+    def __len__(self) -> int:
+        return sum(len(a) for a in self._by_state.values())
+
+    def copy(self) -> "QTable":
+        out = QTable()
+        out._by_state = {s: dict(a) for s, a in self._by_state.items()}
+        return out
+
+    def to_vector(self, keys: List[Tuple[int, int]]) -> np.ndarray:
+        """Dense projection onto an explicit key order (0 for unknown) —
+        used to compare tables across PMs (cosine similarity)."""
+        return np.array([self.get(s, a) for (s, a) in keys], dtype=np.float64)
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-safe representation: {state: {action: value}} with string keys."""
+        return {
+            str(s): {str(a): v for a, v in actions.items()}
+            for s, actions in self._by_state.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, float]]) -> "QTable":
+        """Inverse of :meth:`to_dict`, with key validation."""
+        out = cls()
+        for s_str, actions in data.items():
+            for a_str, v in actions.items():
+                out.set(int(s_str), int(a_str), float(v))
+        return out
+
+    @staticmethod
+    def _check_key(state: int, action: int) -> None:
+        if not 0 <= state < N_STATES:
+            raise ValueError(f"state must be in [0, {N_STATES}), got {state}")
+        if not 0 <= action < N_STATES:
+            raise ValueError(f"action must be in [0, {N_STATES}), got {action}")
+
+    def __repr__(self) -> str:
+        return f"QTable(entries={len(self)}, states={len(self._by_state)})"

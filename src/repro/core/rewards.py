@@ -1,0 +1,110 @@
+"""The two reward systems (paper section IV-A).
+
+Both reward a *transition*: after migrating a VM, the PM lands in a new
+state, and "the total reward of any transition from s to s' is the
+aggregation [of] rewards of each resource [level] of s'".
+
+Reward **out** (sender mode) — strictly decreasing in the destination
+level: ``r_Low > r_Medium > ... > r_Overload``, all positive.  Emptying
+faster earns more, which is what pushes senders to sleep mode with few
+migrations.
+
+Reward **in** (recipient mode) — positive for moving *towards* overload
+(PMs should be "avaricious"), but a large negative ``r_O << 0`` for
+landing in Overload.  After training, a negative ``Q_in(s, a)`` means
+"accepting a VM shaped like `a` while in state `s` likely ends in
+overload now or soon" — the threshold-free admission test.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.states import N_LEVELS, N_STATES, UtilizationLevel, decode_state
+
+__all__ = ["RewardOut", "RewardIn"]
+
+
+def _state_reward_table(per_level: np.ndarray) -> list:
+    """Precompute the total reward of every state code (sum of the
+    per-resource level rewards) — reward lookups sit on the learning hot
+    path, so of_state must be one list index, not a decode."""
+    return [
+        float(sum(per_level[int(lvl)] for lvl in decode_state(code)))
+        for code in range(N_STATES)
+    ]
+
+
+def _validate_schedule(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.shape != (N_LEVELS,):
+        raise ValueError(f"{name} needs {N_LEVELS} per-level values, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+class RewardOut:
+    """Sender-mode rewards: higher for transitions to lighter states.
+
+    Default schedule: ``r(level) = N_LEVELS - level`` (9 for Low down to
+    1 for Overload) — satisfies the paper's constraint
+    ``r_L > r_M > ... > r_O`` with all values positive.
+    """
+
+    def __init__(self, per_level: Sequence[float] | None = None) -> None:
+        if per_level is None:
+            per_level = [float(N_LEVELS - i) for i in range(N_LEVELS)]
+        self.per_level = _validate_schedule(per_level, "RewardOut.per_level")
+        if not np.all(np.diff(self.per_level) < 0):
+            raise ValueError(
+                "reward-out schedule must be strictly decreasing with level "
+                f"(r_L > r_M > ... > r_O); got {self.per_level}"
+            )
+        if not np.all(self.per_level > 0):
+            raise ValueError(f"reward-out values must all be > 0; got {self.per_level}")
+        self._by_state = _state_reward_table(self.per_level)
+
+    def of_state(self, next_state: int) -> float:
+        """Total reward for landing in ``next_state`` (sum over resources)."""
+        return self._by_state[next_state]
+
+    def of_levels(self, levels: Tuple[UtilizationLevel, ...]) -> float:
+        return float(sum(self.per_level[int(lvl)] for lvl in levels))
+
+
+class RewardIn:
+    """Recipient-mode rewards: positive below Overload, ``r_O << 0``.
+
+    Default schedule: ``r(level) = level + 1`` for the 8 non-overload
+    levels (mild encouragement to fill up) and ``r_O = -100`` — two
+    orders of magnitude below the positive values, so that even a
+    discounted chain of "good" transitions cannot outweigh one landing
+    in Overload.
+    """
+
+    DEFAULT_OVERLOAD_PENALTY = -100.0
+
+    def __init__(self, per_level: Sequence[float] | None = None) -> None:
+        if per_level is None:
+            per_level = [float(i + 1) for i in range(N_LEVELS - 1)]
+            per_level.append(self.DEFAULT_OVERLOAD_PENALTY)
+        self.per_level = _validate_schedule(per_level, "RewardIn.per_level")
+        if not np.all(self.per_level[:-1] > 0):
+            raise ValueError(
+                f"reward-in values below Overload must be > 0; got {self.per_level}"
+            )
+        if self.per_level[-1] >= 0:
+            raise ValueError(
+                f"reward-in Overload value must be << 0; got {self.per_level[-1]}"
+            )
+        self._by_state = _state_reward_table(self.per_level)
+
+    def of_state(self, next_state: int) -> float:
+        """Total reward for the recipient landing in ``next_state``."""
+        return self._by_state[next_state]
+
+    def of_levels(self, levels: Tuple[UtilizationLevel, ...]) -> float:
+        return float(sum(self.per_level[int(lvl)] for lvl in levels))

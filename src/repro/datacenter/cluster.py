@@ -1,0 +1,224 @@
+"""The data centre: PM/VM populations, placement and migration plumbing.
+
+:class:`DataCenter` owns every PM and VM, performs the initial random
+VM→PM mapping (identical across policies for a fair comparison, per the
+paper's section V-A), refreshes demands from a trace each round, and is
+the single chokepoint through which *all* policies migrate VMs — so
+migration counting, energy and SLA accounting are uniform across GLAP
+and the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datacenter.migration import MigrationModel, MigrationRecord
+from repro.datacenter.pm import PhysicalMachine
+from repro.datacenter.resources import (
+    EC2_MICRO,
+    HP_PROLIANT_ML110_G5,
+    MachineSpec,
+)
+from repro.datacenter.vm import VirtualMachine
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - break the traces<->datacenter cycle
+    from repro.traces.base import TraceSource
+
+__all__ = ["DataCenter"]
+
+
+class DataCenter:
+    """PMs + VMs + trace + migration accounting.
+
+    Parameters
+    ----------
+    n_pms:
+        Number of physical machines.
+    n_vms:
+        Number of virtual machines (paper: ``ratio * n_pms``).
+    trace:
+        Source of per-VM demand fractions per round.
+    round_seconds:
+        Simulated wall-clock duration of one round (paper: 120 s).
+    pm_spec / vm_spec:
+        Hardware models.
+    migration_model:
+        Cost model shared by every policy.
+    """
+
+    def __init__(
+        self,
+        n_pms: int,
+        n_vms: int,
+        trace: "TraceSource",
+        round_seconds: float = 120.0,
+        pm_spec: MachineSpec = HP_PROLIANT_ML110_G5,
+        vm_spec: MachineSpec = EC2_MICRO,
+        migration_model: Optional[MigrationModel] = None,
+    ) -> None:
+        if n_pms <= 0:
+            raise ValueError(f"n_pms must be > 0, got {n_pms}")
+        if n_vms <= 0:
+            raise ValueError(f"n_vms must be > 0, got {n_vms}")
+        if trace.n_vms < n_vms:
+            raise ValueError(
+                f"trace provides {trace.n_vms} VM series but {n_vms} VMs requested"
+            )
+        self.round_seconds = check_positive(round_seconds, "round_seconds")
+        self.pms: List[PhysicalMachine] = [
+            PhysicalMachine(i, pm_spec) for i in range(n_pms)
+        ]
+        self.vms: List[VirtualMachine] = [
+            VirtualMachine(i, vm_spec) for i in range(n_vms)
+        ]
+        self._pm_by_id: Dict[int, PhysicalMachine] = {p.pm_id: p for p in self.pms}
+        self._vm_by_id: Dict[int, VirtualMachine] = {v.vm_id: v for v in self.vms}
+        self.trace = trace
+        self.migration_model = (
+            migration_model if migration_model is not None else MigrationModel()
+        )
+        self.migrations: List[MigrationRecord] = []
+        self.current_round = -1  # no demand observed yet
+
+    # -- lookups ----------------------------------------------------------
+
+    def pm(self, pm_id: int) -> PhysicalMachine:
+        try:
+            return self._pm_by_id[pm_id]
+        except KeyError:
+            raise KeyError(f"no PM {pm_id}") from None
+
+    def vm(self, vm_id: int) -> VirtualMachine:
+        try:
+            return self._vm_by_id[vm_id]
+        except KeyError:
+            raise KeyError(f"no VM {vm_id}") from None
+
+    @property
+    def n_pms(self) -> int:
+        return len(self.pms)
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.vms)
+
+    # -- initial placement ---------------------------------------------------
+
+    def place_randomly(self, rng: np.random.Generator) -> None:
+        """Uniform random initial VM→PM mapping (paper section V-A).
+
+        The mapping respects nothing but randomness — overcommitted PMs at
+        round 0 are possible and give consolidation something to fix.
+        """
+        if any(not pm.is_empty for pm in self.pms):
+            raise RuntimeError("place_randomly called on a non-empty data centre")
+        hosts = rng.integers(0, self.n_pms, size=self.n_vms)
+        self.apply_placement(hosts)
+
+    def apply_placement(self, hosts: Sequence[int]) -> None:
+        """Install an explicit VM→PM mapping (index = vm_id, value = pm_id).
+
+        Used to replay the *same* initial mapping across all policies.
+        """
+        if len(hosts) != self.n_vms:
+            raise ValueError(f"expected {self.n_vms} host ids, got {len(hosts)}")
+        for vm, host in zip(self.vms, hosts):
+            if vm.host_id is not None:
+                self.pm(vm.host_id).remove_vm(vm.vm_id)
+            self.pm(int(host)).add_vm(vm)
+
+    def placement(self) -> np.ndarray:
+        """Current VM→PM mapping as an array (``-1`` if unplaced)."""
+        return np.array(
+            [vm.host_id if vm.host_id is not None else -1 for vm in self.vms],
+            dtype=np.int64,
+        )
+
+    # -- per-round demand refresh ------------------------------------------------
+
+    def advance_round(self) -> int:
+        """Move to the next trace round: refresh all VM demands, accrue
+        PM active/saturated time.  Returns the new round index."""
+        self.current_round += 1
+        demands = self.trace.demands_at(self.current_round)  # (n_vms, R) fractions
+        for vm in self.vms:
+            vm.observe_demand(demands[vm.vm_id], self.round_seconds)
+        for pm in self.pms:
+            if not pm.asleep:
+                pm.account_round(self.round_seconds)
+        return self.current_round
+
+    # -- migration (the single chokepoint) ------------------------------------------
+
+    def migrate(self, vm_id: int, dst_pm_id: int) -> MigrationRecord:
+        """Live-migrate a VM to ``dst_pm_id`` with full cost accounting.
+
+        Raises if the VM is unplaced, the destination is the source, or
+        the destination is asleep (policies must wake PMs explicitly).
+        """
+        vm = self.vm(vm_id)
+        if vm.host_id is None:
+            raise RuntimeError(f"VM {vm_id} is not placed")
+        src = self.pm(vm.host_id)
+        dst = self.pm(dst_pm_id)
+        if dst.pm_id == src.pm_id:
+            raise ValueError(f"VM {vm_id}: destination equals source PM {src.pm_id}")
+        if dst.asleep:
+            raise RuntimeError(f"destination PM {dst.pm_id} is asleep")
+
+        record = self.migration_model.cost_of(self.current_round, vm, src, dst)
+        src.remove_vm(vm.vm_id)
+        dst.add_vm(vm)
+        vm.record_migration_degradation(record.degraded_mips_s)
+        self.migrations.append(record)
+        return record
+
+    def reset_accounting(self) -> None:
+        """Zero SLA and migration accounting (between warmup and
+        evaluation) without touching placement, demand or sleep state."""
+        self.migrations.clear()
+        for pm in self.pms:
+            pm.active_seconds = 0.0
+            pm.saturated_seconds = 0.0
+        for vm in self.vms:
+            vm.cpu_requested_mips_s = 0.0
+            vm.cpu_degraded_mips_s = 0.0
+            vm.migrations = 0
+
+    # -- aggregate views -----------------------------------------------------------
+
+    def active_pms(self) -> List[PhysicalMachine]:
+        return [pm for pm in self.pms if not pm.asleep]
+
+    def active_count(self) -> int:
+        return sum(1 for pm in self.pms if not pm.asleep)
+
+    def overloaded_count(self) -> int:
+        return sum(
+            1 for pm in self.pms if not pm.asleep and pm.is_overloaded()
+        )
+
+    def utilization_matrix(self, *, use_average: bool = False) -> np.ndarray:
+        """(n_pms, N_RESOURCES) utilisation snapshot; sleeping PMs are 0."""
+        rows = [
+            pm.utilization(use_average=use_average)
+            if not pm.asleep
+            else np.zeros(2)
+            for pm in self.pms
+        ]
+        return np.vstack(rows)
+
+    def total_migration_energy_j(self) -> float:
+        return float(sum(m.energy_j for m in self.migrations))
+
+    def migration_count(self) -> int:
+        return len(self.migrations)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataCenter(pms={self.n_pms}, vms={self.n_vms}, "
+            f"round={self.current_round}, migrations={len(self.migrations)})"
+        )

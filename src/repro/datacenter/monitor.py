@@ -1,0 +1,58 @@
+"""VM monitor (VMM): per-VM current and running-average demand.
+
+Section IV-B: "each VM piggybacks a tuple {c, v} in which c represents
+the number of times the resource demand is monitored and v indicates the
+average observed demands.  In the next profiling time, the new average
+can be calculated simply by ((c*v) + d(t)) / (c+1)."
+
+The monitor travels with the VM across migrations — the average is a
+property of the VM's workload history, not of its current host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datacenter.resources import N_RESOURCES
+
+__all__ = ["VmMonitor"]
+
+
+class VmMonitor:
+    """Tracks current demand and the ``{c, v}`` running average per resource.
+
+    Demands are fractions of the VM's own nominal spec, in [0, 1].
+    """
+
+    __slots__ = ("current", "average", "count")
+
+    def __init__(self) -> None:
+        self.current = np.zeros(N_RESOURCES, dtype=np.float64)
+        self.average = np.zeros(N_RESOURCES, dtype=np.float64)
+        self.count = 0
+
+    def observe(self, demand: np.ndarray) -> None:
+        """Fold one profiling sample (length-``N_RESOURCES`` fractions) in."""
+        d = np.asarray(demand, dtype=np.float64)
+        if d.shape != (N_RESOURCES,):
+            raise ValueError(f"demand must have shape ({N_RESOURCES},), got {d.shape}")
+        if np.any(d < 0.0) or np.any(d > 1.0):
+            raise ValueError(f"demand fractions must be in [0, 1], got {d}")
+        # v' = (c*v + d) / (c + 1)   — the paper's piggyback update.
+        self.average = (self.count * self.average + d) / (self.count + 1)
+        self.count += 1
+        # In-place copy: `current` is referenced by hot paths.
+        self.current[:] = d
+
+    def copy(self) -> "VmMonitor":
+        out = VmMonitor()
+        out.current = self.current.copy()
+        out.average = self.average.copy()
+        out.count = self.count
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"VmMonitor(current={np.round(self.current, 3)}, "
+            f"average={np.round(self.average, 3)}, count={self.count})"
+        )

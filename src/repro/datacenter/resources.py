@@ -1,0 +1,91 @@
+"""Resource dimensions and machine specifications.
+
+The paper considers two resources, CPU and memory (section IV-A), and
+models PMs as HP ProLiant ML110 G5 servers and VMs as EC2 micro
+instances (section V-A).  Resource vectors are plain length-2 NumPy
+arrays indexed by :data:`CPU` / :data:`MEM` — the whole simulation is
+written against ``N_RESOURCES`` so a third dimension (e.g. network)
+can be added without touching the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "CPU",
+    "MEM",
+    "N_RESOURCES",
+    "RESOURCE_NAMES",
+    "MachineSpec",
+    "HP_PROLIANT_ML110_G5",
+    "EC2_MICRO",
+]
+
+CPU: int = 0
+MEM: int = 1
+N_RESOURCES: int = 2
+RESOURCE_NAMES: tuple = ("cpu", "mem")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Nominal capacity of a machine (PM or VM).
+
+    Attributes
+    ----------
+    cpu_mips:
+        Total CPU capacity in MIPS.
+    mem_mb:
+        Total memory in MB.
+    bandwidth_mbps:
+        Network interface bandwidth in Mbit/s (used by the live-migration
+        time model; irrelevant for VMs in this reproduction).
+    name:
+        Human-readable label for reports.
+    """
+
+    cpu_mips: float
+    mem_mb: float
+    bandwidth_mbps: float = 0.0
+    name: str = "machine"
+
+    def __post_init__(self) -> None:
+        check_positive(self.cpu_mips, "cpu_mips")
+        check_positive(self.mem_mb, "mem_mb")
+        if self.bandwidth_mbps < 0:
+            raise ValueError(f"bandwidth_mbps must be >= 0, got {self.bandwidth_mbps}")
+
+    def capacity_vector(self) -> np.ndarray:
+        """Capacity as a length-``N_RESOURCES`` array [cpu_mips, mem_mb]."""
+        return np.array([self.cpu_mips, self.mem_mb], dtype=np.float64)
+
+    def fraction_of(self, other: "MachineSpec") -> np.ndarray:
+        """This machine's capacity as a fraction of ``other``'s, per resource.
+
+        E.g. ``EC2_MICRO.fraction_of(HP_PROLIANT_ML110_G5)`` is the
+        footprint a fully-loaded micro VM leaves on a ProLiant host.
+        """
+        return self.capacity_vector() / other.capacity_vector()
+
+
+# Paper section V-A: "The PMs are modeled as HP ProLiant ML110 G5 servers
+# (2660 MIPS CPU, 4GB memory, 10 GB/s network bandwidth) and the VMs are
+# modeled from EC2 micro instance (500 MIPS CPU, 613 MB memory)."
+HP_PROLIANT_ML110_G5 = MachineSpec(
+    cpu_mips=2660.0,
+    mem_mb=4096.0,
+    bandwidth_mbps=10_000.0,
+    name="HP ProLiant ML110 G5",
+)
+
+EC2_MICRO = MachineSpec(
+    cpu_mips=500.0,
+    mem_mb=613.0,
+    bandwidth_mbps=0.0,
+    name="EC2 micro",
+)

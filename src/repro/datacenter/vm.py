@@ -1,0 +1,90 @@
+"""Virtual machines.
+
+A VM carries its nominal spec (EC2 micro in the paper's experiments), a
+monitor with its current / average demand fractions, and bookkeeping for
+SLA accounting (total CPU requested, degradation suffered during
+migrations — the ``C_r`` and ``C_d`` of the paper's SLALM metric).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datacenter.monitor import VmMonitor
+from repro.datacenter.resources import CPU, EC2_MICRO, MachineSpec, N_RESOURCES
+
+__all__ = ["VirtualMachine"]
+
+
+class VirtualMachine:
+    """A VM with time-varying demand.
+
+    Demand fractions (``monitor.current`` / ``monitor.average``) are
+    relative to the VM's own spec; :meth:`demand_on` converts them into
+    the absolute units of a host's capacity vector.
+    """
+
+    __slots__ = (
+        "vm_id",
+        "spec",
+        "monitor",
+        "host_id",
+        "cpu_requested_mips_s",
+        "cpu_degraded_mips_s",
+        "migrations",
+    )
+
+    def __init__(self, vm_id: int, spec: MachineSpec = EC2_MICRO) -> None:
+        if vm_id < 0:
+            raise ValueError(f"vm_id must be >= 0, got {vm_id}")
+        self.vm_id = int(vm_id)
+        self.spec = spec
+        self.monitor = VmMonitor()
+        self.host_id: Optional[int] = None
+        # SLA bookkeeping (mips-seconds), see repro.metrics.sla.
+        self.cpu_requested_mips_s = 0.0
+        self.cpu_degraded_mips_s = 0.0
+        self.migrations = 0
+
+    # -- demand views ------------------------------------------------------
+
+    def current_demand_abs(self) -> np.ndarray:
+        """Current demand in absolute units ([MIPS, MB])."""
+        return self.monitor.current * self.spec.capacity_vector()
+
+    def average_demand_abs(self) -> np.ndarray:
+        """Running-average demand in absolute units ([MIPS, MB])."""
+        return self.monitor.average * self.spec.capacity_vector()
+
+    def demand_on(self, host_spec: MachineSpec, *, use_average: bool = False) -> np.ndarray:
+        """Demand as a fraction of ``host_spec``'s capacity, per resource."""
+        abs_demand = self.average_demand_abs() if use_average else self.current_demand_abs()
+        return abs_demand / host_spec.capacity_vector()
+
+    def cpu_demand_mips(self) -> float:
+        """Current CPU demand in MIPS."""
+        return float(self.monitor.current[CPU] * self.spec.cpu_mips)
+
+    # -- trace hookup ----------------------------------------------------------
+
+    def observe_demand(self, demand_fractions: np.ndarray, round_seconds: float) -> None:
+        """Record this round's demand sample and accrue requested CPU time."""
+        self.monitor.observe(demand_fractions)
+        self.cpu_requested_mips_s += self.cpu_demand_mips() * round_seconds
+
+    # -- migration bookkeeping ---------------------------------------------------
+
+    def record_migration_degradation(self, degraded_mips_s: float) -> None:
+        """Accrue the C_d term: CPU work lost to one live migration."""
+        if degraded_mips_s < 0:
+            raise ValueError(f"degraded_mips_s must be >= 0, got {degraded_mips_s}")
+        self.cpu_degraded_mips_s += degraded_mips_s
+        self.migrations += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachine(id={self.vm_id}, host={self.host_id}, "
+            f"cur={np.round(self.monitor.current, 3)})"
+        )

@@ -1,0 +1,166 @@
+"""The experiment runner.
+
+Guarantees fairness exactly the way the paper does: for a given
+(scenario, repetition) seed, the generated trace and the initial random
+VM-PM mapping are *identical for every policy* ("such VM-PM mapping is
+used identically for all different algorithms in each experiment");
+only the policies' own protocol randomness differs by named stream.
+
+Run structure::
+
+    attach -> [warmup: advance_round + gossip round + controller step]
+           -> end_warmup (accounting reset)
+           -> [evaluation: advance_round + gossip round + controller step
+               + end-of-round sample]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import ConsolidationPolicy
+from repro.baselines.bfd import bfd_baseline_active_pms
+from repro.baselines.ecocloud import EcoCloudPolicy
+from repro.baselines.grmp import GrmpPolicy
+from repro.baselines.pabfd import PabfdPolicy
+from repro.core.glap import GlapConfig, GlapPolicy
+from repro.datacenter.cluster import DataCenter
+from repro.experiments.scenarios import Scenario
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import RunResult
+from repro.metrics.sla import slalm, slavo
+from repro.simulator.engine import Simulation
+from repro.simulator.node import Node
+from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
+from repro.util.rng import RngStreams
+
+__all__ = [
+    "POLICY_NAMES",
+    "make_policy",
+    "build_environment",
+    "run_policy",
+    "run_repetitions",
+]
+
+POLICY_NAMES: Tuple[str, ...] = ("GLAP", "EcoCloud", "GRMP", "PABFD")
+
+
+def make_policy(name: str, **kwargs) -> ConsolidationPolicy:
+    """Policy factory by paper name (case-insensitive)."""
+    key = name.strip().lower()
+    if key == "glap":
+        return GlapPolicy(**kwargs)
+    if key == "ecocloud":
+        return EcoCloudPolicy(**kwargs)
+    if key == "grmp":
+        return GrmpPolicy(**kwargs)
+    if key == "pabfd":
+        return PabfdPolicy(**kwargs)
+    raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
+
+
+def build_environment(
+    scenario: Scenario, seed: int
+) -> Tuple[DataCenter, Simulation, RngStreams]:
+    """Construct (data centre, simulation, rng streams) for one run.
+
+    Trace and placement depend only on (scenario, seed) — never on the
+    policy — so every policy faces the identical workload.
+    """
+    streams = RngStreams(seed)
+    params = scenario.trace_params
+    generator = (
+        GoogleLikeTraceGenerator(params) if params is not None else GoogleLikeTraceGenerator()
+    )
+    trace = generator.generate(
+        scenario.n_vms, scenario.total_rounds, streams.get("trace")
+    )
+    dc = DataCenter(
+        scenario.n_pms,
+        scenario.n_vms,
+        trace,
+        round_seconds=scenario.round_seconds,
+    )
+    dc.place_randomly(streams.get("placement"))
+    nodes = [Node(pm.pm_id, payload=pm) for pm in dc.pms]
+    sim = Simulation(nodes, streams.get("engine"))
+    return dc, sim, streams
+
+
+def run_policy(
+    scenario: Scenario,
+    policy: ConsolidationPolicy,
+    seed: int,
+    round_hook: Optional[Callable[[int, DataCenter, Simulation], None]] = None,
+) -> RunResult:
+    """Run one policy through warmup + evaluation; returns the result.
+
+    ``round_hook(eval_round_index, dc, sim)`` is called after each
+    evaluation round — used by the figure drivers to sample extra state
+    (e.g. Q-value similarity).
+    """
+    dc, sim, streams = build_environment(scenario, seed)
+    policy.attach(dc, sim, streams, scenario.warmup_rounds)
+
+    for _ in range(scenario.warmup_rounds):
+        dc.advance_round()
+        sim.run_round()
+        policy.step(dc, sim)
+
+    policy.end_warmup(dc, sim)
+    dc.reset_accounting()
+
+    collector = MetricsCollector(dc)
+    for r in range(scenario.rounds):
+        dc.advance_round()
+        sim.run_round()
+        policy.step(dc, sim)
+        collector.sample()
+        if round_hook is not None:
+            round_hook(r, dc, sim)
+
+    result = RunResult(
+        policy=policy.name,
+        n_pms=scenario.n_pms,
+        n_vms=scenario.n_vms,
+        rounds=scenario.rounds,
+        seed=seed,
+        slavo=slavo(dc.pms),
+        slalm=slalm(dc.vms),
+        total_migrations=dc.migration_count(),
+        migration_energy_j=dc.total_migration_energy_j(),
+        final_active=dc.active_count(),
+        final_overloaded=dc.overloaded_count(),
+        bfd_baseline_pms=bfd_baseline_active_pms(dc),
+        series={name: collector.get(name) for name in MetricsCollector.SERIES},
+    )
+    result.slav = result.slavo * result.slalm
+    # Left-Riemann integral of the end-of-round power snapshots.
+    result.dc_energy_j = float(
+        collector.get("dc_power").sum() * scenario.round_seconds
+    )
+    return result
+
+
+def run_repetitions(
+    scenario: Scenario,
+    policy_name: str,
+    repetitions: Optional[int] = None,
+    policy_kwargs: Optional[Dict] = None,
+) -> List[RunResult]:
+    """Run ``repetitions`` independent seeds of one policy.
+
+    A *fresh* policy instance is created per repetition — policies carry
+    learned state and must not leak across runs.
+    """
+    reps = scenario.repetitions if repetitions is None else repetitions
+    if reps <= 0:
+        raise ValueError(f"repetitions must be > 0, got {reps}")
+    kwargs = policy_kwargs or {}
+    results = []
+    for rep in range(reps):
+        policy = make_policy(policy_name, **kwargs)
+        results.append(run_policy(scenario, policy, scenario.seed_of(rep)))
+    return results

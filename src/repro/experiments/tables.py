@@ -1,0 +1,44 @@
+"""Table drivers — Table I (the SLA metric grid).
+
+Table I reports SLAV = SLAVO x SLALM for every cluster size x workload
+ratio x policy.  The expected ordering, per the paper:
+GLAP < EcoCloud < PABFD < GRMP, with SLAV growing with workload ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.figures import SweepResults, _format_rows
+
+__all__ = ["table1_sla", "format_table1"]
+
+
+def table1_sla(results: SweepResults) -> List[dict]:
+    """Rows: one per scenario, with each policy's median SLAV."""
+    rows = []
+    for scenario in results.scenarios:
+        row: Dict[str, object] = {
+            "scenario": scenario.label(),
+            "n_pms": scenario.n_pms,
+            "ratio": scenario.ratio,
+        }
+        for policy in results.policies:
+            runs = results.of(scenario, policy)
+            row[policy] = float(np.median([r.slav for r in runs]))
+        rows.append(row)
+    return rows
+
+
+def format_table1(rows: List[dict], policies: Tuple[str, ...]) -> str:
+    table = [
+        [r["scenario"]] + [f"{r[p]:.3g}" for p in policies]
+        for r in rows
+    ]
+    return _format_rows(
+        ["size-ratio"] + list(policies),
+        table,
+        "Table I — SLA metric (SLAV) for various cluster sizes and workload ratios",
+    )

@@ -1,0 +1,43 @@
+"""Energy accounting.
+
+Figure 10's quantity is the *energy overhead of migrations* (summed
+eq. 3 over all performed migrations).  We additionally expose total data
+centre power/energy — not a paper figure, but the quantity consolidation
+ultimately optimises, and our ablation benches use it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.datacenter.cluster import DataCenter
+from repro.datacenter.migration import MigrationRecord
+from repro.datacenter.power import LinearPowerModel
+
+__all__ = ["migration_energy_j", "datacenter_power_w", "datacenter_energy_j"]
+
+
+def migration_energy_j(migrations: Iterable[MigrationRecord]) -> float:
+    """Total migration energy overhead in joules."""
+    return float(sum(m.energy_j for m in migrations))
+
+
+def datacenter_power_w(
+    dc: DataCenter, power_model: Optional[LinearPowerModel] = None
+) -> float:
+    """Instantaneous power of all awake PMs (sleeping PMs draw ~0)."""
+    model = power_model if power_model is not None else LinearPowerModel()
+    return float(
+        sum(model.power(pm.cpu_utilization()) for pm in dc.pms if not pm.asleep)
+    )
+
+
+def datacenter_energy_j(
+    dc: DataCenter,
+    seconds: float,
+    power_model: Optional[LinearPowerModel] = None,
+) -> float:
+    """Energy over an interval at the current utilisation snapshot."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    return datacenter_power_w(dc, power_model) * seconds

@@ -1,0 +1,126 @@
+"""Run results and cross-repetition aggregation.
+
+The paper repeats every experiment 20 times and reports medians with
+10th/90th percentile bars.  :class:`RunResult` captures everything one
+(policy, scenario, seed) run produced; :func:`aggregate_runs` folds a
+list of repetitions into :class:`AggregatedMetric` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.stats import PercentileSummary, percentile_summary
+
+__all__ = ["RunResult", "AggregatedMetric", "aggregate_runs"]
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one evaluation run."""
+
+    policy: str
+    n_pms: int
+    n_vms: int
+    rounds: int
+    seed: int
+    #: End-of-run scalar metrics.
+    slavo: float = 0.0
+    slalm: float = 0.0
+    slav: float = 0.0
+    total_migrations: int = 0
+    migration_energy_j: float = 0.0
+    #: Total data-centre energy over the evaluation (integral of the
+    #: per-round power snapshots) — what consolidation ultimately saves.
+    dc_energy_j: float = 0.0
+    final_active: int = 0
+    final_overloaded: int = 0
+    bfd_baseline_pms: int = 0
+    #: Per-round series (name -> array of length ``rounds``).
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Extra policy-specific diagnostics (counters, convergence...).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """VM:PM workload ratio of the scenario."""
+        return self.n_vms / self.n_pms
+
+    def mean_of(self, series_name: str) -> float:
+        arr = self.series.get(series_name)
+        if arr is None or arr.size == 0:
+            raise KeyError(f"run has no series {series_name!r}")
+        return float(arr.mean())
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy:9s} pms={self.n_pms} ratio={self.ratio:.0f} "
+            f"SLAV={self.slav:.2e} migrations={self.total_migrations} "
+            f"overloaded~{self.mean_of('overloaded'):.1f} "
+            f"active~{self.mean_of('active'):.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class AggregatedMetric:
+    """One metric aggregated across repetitions of one configuration."""
+
+    policy: str
+    n_pms: int
+    ratio: float
+    metric: str
+    summary: PercentileSummary
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy:9s} {self.n_pms:5d} PMs  ratio {self.ratio:.0f}  "
+            f"{self.metric:22s} {self.summary}"
+        )
+
+
+def aggregate_runs(
+    runs: Sequence[RunResult],
+    metric: str,
+    *,
+    per_round: bool = False,
+) -> AggregatedMetric:
+    """Aggregate one metric across repetitions.
+
+    ``metric`` is either a scalar attribute of :class:`RunResult`
+    (``"slav"``, ``"total_migrations"``, ...) or, with
+    ``per_round=True``, a series name whose *per-round samples across
+    all repetitions* are pooled — that is exactly how the paper builds
+    the median/p10/p90 bars of Figures 7-8 ("We extracted the value ...
+    at the end of each round in all the executions").
+    """
+    if not runs:
+        raise ValueError("no runs to aggregate")
+    first = runs[0]
+    if any(
+        (r.policy, r.n_pms, r.n_vms) != (first.policy, first.n_pms, first.n_vms)
+        for r in runs
+    ):
+        raise ValueError("aggregate_runs got runs from mixed configurations")
+
+    if per_round:
+        pooled: List[float] = []
+        for r in runs:
+            arr = r.series.get(metric)
+            if arr is None:
+                raise KeyError(f"run {r.seed} has no series {metric!r}")
+            pooled.extend(arr.tolist())
+        summary = percentile_summary(pooled)
+    else:
+        values = [float(getattr(r, metric)) for r in runs]
+        summary = percentile_summary(values)
+
+    return AggregatedMetric(
+        policy=first.policy,
+        n_pms=first.n_pms,
+        ratio=first.ratio,
+        metric=metric,
+        summary=summary,
+    )

@@ -1,0 +1,64 @@
+"""SLA violation metrics (paper equations 1-2, after Beloglazov & Buyya).
+
+::
+
+    SLAVO = (1/N) * sum_i  T_s_i / T_a_i      (overload-time fraction)
+    SLALM = (1/M) * sum_j  C_d_j / C_r_j      (migration degradation)
+    SLAV  = SLAVO * SLALM
+
+* ``T_s_i`` — accumulated time PM *i* spent at 100% CPU;
+* ``T_a_i`` — total time PM *i* was active;
+* ``C_d_j`` — CPU work VM *j* lost to live migrations (estimated as 10%
+  of its CPU utilisation during each migration);
+* ``C_r_j`` — total CPU work VM *j* requested over its lifetime.
+
+The bookkeeping feeding these lives on the PM
+(:attr:`~repro.datacenter.pm.PhysicalMachine.saturated_seconds`) and VM
+(:attr:`~repro.datacenter.vm.VirtualMachine.cpu_degraded_mips_s`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datacenter.pm import PhysicalMachine
+from repro.datacenter.vm import VirtualMachine
+
+__all__ = ["slavo", "slalm", "slav"]
+
+
+def slavo(pms: Iterable[PhysicalMachine]) -> float:
+    """SLA Violation time per active host (fraction in [0, 1]).
+
+    PMs that were never active contribute 0 (they can't have violated).
+    """
+    ratios = []
+    for pm in pms:
+        if pm.active_seconds > 0.0:
+            ratios.append(pm.saturated_seconds / pm.active_seconds)
+        else:
+            ratios.append(0.0)
+    if not ratios:
+        raise ValueError("slavo of an empty PM set")
+    return float(sum(ratios) / len(ratios))
+
+
+def slalm(vms: Iterable[VirtualMachine]) -> float:
+    """Performance degradation due to live migration (fraction).
+
+    VMs that requested no CPU contribute 0.
+    """
+    ratios = []
+    for vm in vms:
+        if vm.cpu_requested_mips_s > 0.0:
+            ratios.append(vm.cpu_degraded_mips_s / vm.cpu_requested_mips_s)
+        else:
+            ratios.append(0.0)
+    if not ratios:
+        raise ValueError("slalm of an empty VM set")
+    return float(sum(ratios) / len(ratios))
+
+
+def slav(pms: Iterable[PhysicalMachine], vms: Iterable[VirtualMachine]) -> float:
+    """The combined SLA violation metric: SLAVO x SLALM."""
+    return slavo(pms) * slalm(vms)

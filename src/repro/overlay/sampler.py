@@ -1,0 +1,39 @@
+"""Overlay-agnostic peer sampling interface.
+
+Higher-level protocols (gossip learning, aggregation, consolidation, the
+GRMP baseline) only ever need two operations from the overlay:
+
+* ``select_peer(node, sim)`` — one random *live* neighbour id, or None;
+* ``neighbors(node)``        — the ids currently in the partial view.
+
+Keeping this interface minimal is what lets the consolidation layer run
+unchanged over Cyclon, a static graph, or a mock in tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulation
+    from repro.simulator.node import Node
+
+__all__ = ["PeerSampler"]
+
+
+class PeerSampler(abc.ABC):
+    """Random peer selection over some overlay."""
+
+    @abc.abstractmethod
+    def select_peer(self, node: "Node", sim: "Simulation") -> Optional[int]:
+        """Return the id of a random live neighbour, or None if isolated.
+
+        Implementations must only return nodes that are currently up —
+        a real PM would notice a dead/sleeping neighbour at connect time
+        and pick another.
+        """
+
+    @abc.abstractmethod
+    def neighbors(self, node: "Node") -> List[int]:
+        """Current neighbour ids (may include nodes that went down)."""

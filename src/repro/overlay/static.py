@@ -1,0 +1,99 @@
+"""Static random overlay — ablation baseline and test fixture.
+
+A fixed k-regular-ish random graph built once at start-up.  It never
+repairs itself, so when neighbours go to sleep a node's effective degree
+shrinks — exactly the pathology of Figure 1 in the paper, which makes
+this overlay the right baseline for the "Cyclon vs static" ablation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.overlay.sampler import PeerSampler
+from repro.simulator.protocol import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulation
+    from repro.simulator.node import Node
+
+__all__ = ["build_random_regular_views", "StaticOverlay"]
+
+
+def build_random_regular_views(
+    node_ids: List[int], degree: int, rng: np.random.Generator
+) -> Dict[int, List[int]]:
+    """Build an undirected random graph with minimum degree ``degree``.
+
+    Construction: a Hamiltonian ring (guarantees connectivity) plus random
+    chords until every node has at least ``degree`` neighbours.  Simple,
+    deterministic under the given rng, and adequate for an overlay
+    baseline — we do not need exact regularity.
+    """
+    n = len(node_ids)
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if not 1 <= degree <= n - 1:
+        raise ValueError(f"degree must be in [1, {n - 1}], got {degree}")
+
+    order = list(node_ids)
+    rng.shuffle(order)
+    adj: Dict[int, set] = {nid: set() for nid in node_ids}
+    for i, nid in enumerate(order):  # ring for connectivity
+        nxt = order[(i + 1) % n]
+        adj[nid].add(nxt)
+        adj[nxt].add(nid)
+
+    ids = np.asarray(node_ids)
+    deficient = [nid for nid in node_ids if len(adj[nid]) < degree]
+    guard = 0
+    while deficient and guard < 50 * n * degree:
+        guard += 1
+        u = deficient[int(rng.integers(len(deficient)))]
+        v = int(ids[int(rng.integers(n))])
+        if v != u and v not in adj[u]:
+            adj[u].add(v)
+            adj[v].add(u)
+        deficient = [nid for nid in deficient if len(adj[nid]) < degree]
+    return {nid: sorted(neigh) for nid, neigh in adj.items()}
+
+
+class StaticOverlay(Protocol, PeerSampler):
+    """Fixed-topology peer sampler; its active thread is a no-op."""
+
+    def __init__(
+        self,
+        adjacency: Dict[int, List[int]],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        for nid, neigh in adjacency.items():
+            if nid in neigh:
+                raise ValueError(f"node {nid} lists itself as neighbour")
+        self._adj = {nid: list(neigh) for nid, neigh in adjacency.items()}
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    @classmethod
+    def random_regular(
+        cls, node_ids: List[int], degree: int, rng: np.random.Generator
+    ) -> "StaticOverlay":
+        return cls(build_random_regular_views(node_ids, degree, rng), rng=rng)
+
+    def execute_round(self, node: "Node", sim: "Simulation") -> None:
+        """Static topology: nothing to gossip."""
+
+    def select_peer(self, node: "Node", sim: "Simulation") -> Optional[int]:
+        neigh = self._adj.get(node.node_id, [])
+        if not neigh:
+            return None
+        # Random order scan for a live neighbour.
+        idx = self._rng.permutation(len(neigh))
+        for i in idx:
+            nid = neigh[i]
+            if sim.node(nid).is_up:
+                return nid
+        return None
+
+    def neighbors(self, node: "Node") -> List[int]:
+        return list(self._adj.get(node.node_id, []))

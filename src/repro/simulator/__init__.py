@@ -1,0 +1,33 @@
+"""Round-based peer-to-peer simulation engine (PeerSim equivalent).
+
+The paper evaluates GLAP on PeerSim's *cycle-driven* mode: time advances
+in discrete rounds; in each round every live node's active thread runs
+once (in random order), contacting peers whose passive threads reply
+within the same round.  This package reproduces those semantics:
+
+* :class:`~repro.simulator.node.Node` — a participant with a lifecycle
+  (``UP`` / ``SLEEPING`` / ``FAILED``) and a stack of named protocols.
+* :class:`~repro.simulator.protocol.Protocol` — active/passive behaviour.
+* :class:`~repro.simulator.network.Network` — message accounting plus
+  optional loss/latency models for failure-injection tests.
+* :class:`~repro.simulator.engine.Simulation` — the round loop with
+  observer hooks sampled at the end of every round.
+"""
+
+from repro.simulator.node import Node, NodeState
+from repro.simulator.protocol import Protocol
+from repro.simulator.network import Message, Network, NetworkStats
+from repro.simulator.engine import Simulation
+from repro.simulator.observer import Observer, CallbackObserver
+
+__all__ = [
+    "Node",
+    "NodeState",
+    "Protocol",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Simulation",
+    "Observer",
+    "CallbackObserver",
+]

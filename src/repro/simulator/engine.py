@@ -1,0 +1,152 @@
+"""The cycle-driven simulation engine.
+
+Semantics (matching PeerSim's ``CDSimulator``):
+
+* Time advances in integer rounds.
+* At the start of a round, each live node's protocols get their
+  ``on_round_start`` hook (trace refresh, monitoring, ...).
+* Then every *live* node's active thread runs exactly once per protocol,
+  in a fresh random permutation each round — the permutation models the
+  unsynchronised wall-clock offsets of real gossip nodes.
+* Protocols execute in registration order within a node (Cyclon first,
+  then learning, then consolidation — matching the component stack of
+  the paper's Figure 2).
+* At the end of the round every observer samples the state.
+
+Nodes that fall asleep mid-round are skipped for the rest of the round
+(their ``is_up`` is re-checked immediately before execution), exactly as
+a switched-off PM stops gossiping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulator.network import Network
+from repro.simulator.node import Node
+from repro.simulator.observer import Observer
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """Round loop over a fixed node population.
+
+    Parameters
+    ----------
+    nodes:
+        The full node population (live and sleeping).
+    rng:
+        Generator driving engine-level randomness (execution order).
+        Protocol-level randomness should come from separate streams.
+    network:
+        Message accounting / fault injection; a default lossless network
+        is created when omitted.
+    protocol_order:
+        Explicit execution order of protocol names.  Protocols present on
+        a node but absent from this list do not get an active thread
+        (useful for passive-only components).  When ``None``, each node's
+        registration order is used.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        rng: np.random.Generator,
+        network: Optional[Network] = None,
+        protocol_order: Optional[Sequence[str]] = None,
+    ) -> None:
+        if len(nodes) == 0:
+            raise ValueError("simulation needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids in population")
+        self._nodes: List[Node] = list(nodes)
+        self._by_id: Dict[int, Node] = {n.node_id: n for n in nodes}
+        self._rng = rng
+        self.network = network if network is not None else Network()
+        self._protocol_order = list(protocol_order) if protocol_order else None
+        self._observers: List[Observer] = []
+        self.round_index: int = 0
+
+    # -- population access --------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, including sleeping/failed ones."""
+        return self._nodes
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise KeyError(f"no node with id {node_id}") from None
+
+    def live_nodes(self) -> List[Node]:
+        return [n for n in self._nodes if n.is_up]
+
+    def live_count(self) -> int:
+        return sum(1 for n in self._nodes if n.is_up)
+
+    # -- observers ------------------------------------------------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    # -- execution --------------------------------------------------------------
+
+    def _node_protocol_names(self, node: Node) -> Iterable[str]:
+        if self._protocol_order is not None:
+            return [p for p in self._protocol_order if node.has_protocol(p)]
+        return list(node.protocols.keys())
+
+    def run_round(self) -> None:
+        """Execute one full round."""
+        # Phase 1: per-round refresh hooks for live nodes.
+        for node in self._nodes:
+            if not node.is_up:
+                continue
+            for name in self._node_protocol_names(node):
+                node.protocol(name).on_round_start(node, self)
+
+        # Phase 2: active threads in random order.  The snapshot of live
+        # nodes is taken once; nodes that sleep mid-round are skipped when
+        # their turn comes (re-checked below), and nodes woken mid-round
+        # only start participating next round — both match how a real
+        # gossip round would unfold.
+        live = self.live_nodes()
+        order = self._rng.permutation(len(live))
+        for idx in order:
+            node = live[idx]
+            if not node.is_up:
+                continue
+            for name in self._node_protocol_names(node):
+                if not node.is_up:
+                    break
+                node.protocol(name).execute_round(node, self)
+
+        # Phase 3: end-of-round sampling.
+        for observer in self._observers:
+            observer.observe(self.round_index, self)
+        self.round_index += 1
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` additional rounds."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        for _ in range(rounds):
+            self.run_round()
+        if rounds > 0:
+            for observer in self._observers:
+                observer.on_simulation_end(self)
+
+    # -- convenience -----------------------------------------------------------
+
+    def wake(self, node_id: int) -> None:
+        """Wake a sleeping node and fire its protocols' on_wake hooks."""
+        node = self.node(node_id)
+        node.wake()
+        for name in self._node_protocol_names(node):
+            node.protocol(name).on_wake(node, self)

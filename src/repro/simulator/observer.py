@@ -1,0 +1,39 @@
+"""Observers sample simulation state at the end of every round.
+
+The paper's evaluation metrics "are sampled at the end of each round";
+observers are the hook for that.  They must be read-only: mutating the
+simulation from an observer would entangle measurement with behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulation
+
+__all__ = ["Observer", "CallbackObserver"]
+
+
+class Observer(abc.ABC):
+    """End-of-round sampling hook."""
+
+    @abc.abstractmethod
+    def observe(self, round_index: int, sim: "Simulation") -> None:
+        """Record whatever this observer measures for ``round_index``."""
+
+    def on_simulation_end(self, sim: "Simulation") -> None:
+        """Optional hook after the last round.  Default: no-op."""
+
+
+class CallbackObserver(Observer):
+    """Adapter wrapping a plain callable ``f(round_index, sim)``."""
+
+    def __init__(self, fn: Callable[[int, "Simulation"], None]) -> None:
+        if not callable(fn):
+            raise TypeError("fn must be callable")
+        self._fn = fn
+
+    def observe(self, round_index: int, sim: "Simulation") -> None:
+        self._fn(round_index, sim)

@@ -1,0 +1,44 @@
+"""Protocol interface for the cycle-driven engine.
+
+PeerSim's cycle-driven protocols implement a single ``nextCycle`` hook
+invoked once per node per round; request/reply interactions with a peer
+happen synchronously inside that hook (the peer's *passive thread*).
+We mirror that with :meth:`Protocol.execute_round` for the active thread
+and ordinary method calls (or :class:`~repro.simulator.network.Network`
+messages, when loss/latency matter) for the passive side.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.engine import Simulation
+    from repro.simulator.node import Node
+
+__all__ = ["Protocol"]
+
+
+class Protocol(abc.ABC):
+    """Base class for per-node round-based protocols.
+
+    One instance is attached to one node; per-node state lives on the
+    instance.  Implementations must not keep references to the whole node
+    population except through ``sim`` (which models what a real
+    distributed node could learn through its overlay).
+    """
+
+    @abc.abstractmethod
+    def execute_round(self, node: "Node", sim: "Simulation") -> None:
+        """Run this node's active thread for the current round."""
+
+    def on_round_start(self, node: "Node", sim: "Simulation") -> None:
+        """Hook invoked for every live node before active threads run.
+
+        Default: no-op.  Used e.g. to refresh monitored utilisation from
+        the trace before any gossip exchange reads it.
+        """
+
+    def on_wake(self, node: "Node", sim: "Simulation") -> None:
+        """Hook invoked when a sleeping node is woken.  Default: no-op."""

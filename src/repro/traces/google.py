@@ -1,0 +1,137 @@
+"""Google-cluster-like workload generator.
+
+Substitution for the paper's Google Cluster VM traces [12] (see
+DESIGN.md §3).  Parameters default to the published characteristics of
+the 2011 Google trace as reported in the analyses accompanying it
+(Reiss et al., "Heterogeneity and dynamicity of clouds at scale", SoCC
+2012) and in the CloudSim/PlanetLab tradition the paper's baselines come
+from:
+
+* per-task mean CPU usage is low and heavy-tailed — most tasks use a
+  small fraction of their request, a few are hot.  We draw per-VM base
+  CPU from a lognormal clipped to [0.02, 0.9] with median ~0.2;
+* usage is strongly autocorrelated in time (AR(1), phi ~0.9 at 2-minute
+  sampling) with visible diurnal swing;
+* short high-utilisation bursts occur (flash crowds / batch stages);
+* memory usage is much flatter than CPU, weakly correlated with it.
+
+Every knob is exposed through :class:`GoogleTraceParams` so experiments
+can deviate (e.g. our "bursty workload" extension bench cranks
+``burst_start_p`` up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.base import ArrayTrace
+from repro.traces.synthetic import SyntheticTraceBuilder
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["GoogleTraceParams", "GoogleLikeTraceGenerator"]
+
+
+@dataclass(frozen=True)
+class GoogleTraceParams:
+    """Calibration knobs for the Google-like generator."""
+
+    # Base CPU level: lognormal(mu, sigma) clipped to [cpu_min, cpu_max].
+    # Median ~exp(-1.05) ~= 0.35 of the VM's allocation: VMs "utilize
+    # resources much less than their initial allocation" but enough that
+    # a consolidated data centre runs close to capacity at peak hours —
+    # the regime the paper's comparison operates in.
+    cpu_lognormal_mu: float = -1.05
+    cpu_lognormal_sigma: float = 0.55
+    cpu_min: float = 0.05
+    cpu_max: float = 0.90
+    # Temporal structure.
+    ar1_phi: float = 0.90
+    ar1_sigma: float = 0.05
+    rounds_per_day: int = 720  # 2-minute rounds -> 720 per day
+    diurnal_amplitude: tuple = (0.05, 0.20)
+    #: Fraction of VMs whose diurnal peaks coincide (working-day services).
+    diurnal_shared_fraction: float = 0.6
+    # Bursts.
+    burst_start_p: float = 0.008
+    burst_mean_duration: float = 10.0
+    burst_magnitude: float = 0.40
+    # Memory.  Beta(2.5, 7.5): mean 0.25, sd ~0.13 — memory runs below
+    # CPU so the binding, time-varying resource is CPU (as in the Google
+    # trace, where memory usage is modest and flat relative to request).
+    mem_beta_a: float = 2.5
+    mem_beta_b: float = 7.5
+    mem_ar1_phi: float = 0.97
+    mem_ar1_sigma: float = 0.006
+    mem_cpu_coupling: float = 0.15
+
+    def __post_init__(self) -> None:
+        check_fraction(self.cpu_min, "cpu_min")
+        check_fraction(self.cpu_max, "cpu_max")
+        if self.cpu_min >= self.cpu_max:
+            raise ValueError("cpu_min must be < cpu_max")
+        check_positive(self.mem_beta_a, "mem_beta_a")
+        check_positive(self.mem_beta_b, "mem_beta_b")
+        check_fraction(self.burst_magnitude, "burst_magnitude")
+
+
+class GoogleLikeTraceGenerator:
+    """Generates :class:`ArrayTrace` s with Google-trace-like statistics."""
+
+    def __init__(self, params: GoogleTraceParams | None = None) -> None:
+        self.params = params if params is not None else GoogleTraceParams()
+
+    def generate(
+        self, n_vms: int, n_rounds: int, rng: np.random.Generator
+    ) -> ArrayTrace:
+        """Build a trace of ``n_vms`` series over ``n_rounds`` rounds."""
+        p = self.params
+        cpu_base = np.clip(
+            rng.lognormal(p.cpu_lognormal_mu, p.cpu_lognormal_sigma, size=n_vms),
+            p.cpu_min,
+            p.cpu_max,
+        )
+        mem_base = rng.beta(p.mem_beta_a, p.mem_beta_b, size=n_vms)
+
+        builder = (
+            SyntheticTraceBuilder(n_vms, n_rounds, rng)
+            .with_cpu_base(cpu_base)
+            .with_cpu_diurnal(
+                p.rounds_per_day,
+                p.diurnal_amplitude,
+                shared_phase_fraction=p.diurnal_shared_fraction,
+            )
+            .with_cpu_noise(p.ar1_phi, p.ar1_sigma)
+            .with_cpu_bursts(p.burst_start_p, p.burst_mean_duration, p.burst_magnitude)
+            .with_mem_base(mem_base)
+            .with_mem_noise(p.mem_ar1_phi, p.mem_ar1_sigma)
+            .with_mem_tracking_cpu(p.mem_cpu_coupling)
+        )
+        return builder.build()
+
+    @classmethod
+    def bursty(cls) -> "GoogleLikeTraceGenerator":
+        """A burst-heavy variant — the paper's future-work scenario."""
+        return cls(
+            GoogleTraceParams(
+                burst_start_p=0.02,
+                burst_mean_duration=15.0,
+                burst_magnitude=0.5,
+                ar1_sigma=0.05,
+            )
+        )
+
+    @classmethod
+    def steady(cls) -> "GoogleLikeTraceGenerator":
+        """A low-variance variant where static thresholds should do fine —
+        useful as a control in ablations."""
+        return cls(
+            GoogleTraceParams(
+                ar1_sigma=0.01,
+                diurnal_amplitude=(0.0, 0.03),
+                diurnal_shared_fraction=0.0,
+                burst_start_p=0.0005,
+                burst_magnitude=0.15,
+            )
+        )

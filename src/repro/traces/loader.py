@@ -1,0 +1,98 @@
+"""CSV trace round-tripping.
+
+Allows the *real* Google cluster trace (pre-processed into per-VM
+utilisation series) to be dropped into the simulation unchanged, and
+allows generated traces to be archived alongside experiment results.
+
+Format: plain CSV, one row per (vm, round) sample::
+
+    vm_id,round,cpu,mem
+    0,0,0.231,0.402
+    0,1,0.245,0.401
+    ...
+
+The grid must be dense: every vm must have every round.  Values are
+fractions in [0, 1].
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datacenter.resources import CPU, MEM, N_RESOURCES
+from repro.traces.base import ArrayTrace
+
+__all__ = ["CsvTrace", "write_trace_csv"]
+
+_HEADER = ["vm_id", "round", "cpu", "mem"]
+
+
+def write_trace_csv(trace: ArrayTrace, path: Union[str, Path]) -> None:
+    """Serialise a trace to the dense CSV format above."""
+    path = Path(path)
+    data = trace.data
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for vm_id in range(trace.n_vms):
+            for rnd in range(trace.n_rounds):
+                writer.writerow(
+                    [
+                        vm_id,
+                        rnd,
+                        f"{data[vm_id, rnd, CPU]:.6f}",
+                        f"{data[vm_id, rnd, MEM]:.6f}",
+                    ]
+                )
+
+
+class CsvTrace(ArrayTrace):
+    """An :class:`ArrayTrace` parsed from the dense CSV format."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"trace file not found: {path}")
+        samples: dict[tuple[int, int], tuple[float, float]] = {}
+        max_vm = -1
+        max_round = -1
+        with path.open() as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != _HEADER:
+                raise ValueError(
+                    f"unexpected header {header!r}; expected {_HEADER!r}"
+                )
+            for line_no, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != 4:
+                    raise ValueError(f"{path}:{line_no}: expected 4 fields, got {len(row)}")
+                try:
+                    vm_id, rnd = int(row[0]), int(row[1])
+                    cpu, mem = float(row[2]), float(row[3])
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{line_no}: unparsable row {row!r}") from exc
+                if (vm_id, rnd) in samples:
+                    raise ValueError(f"{path}:{line_no}: duplicate sample for vm {vm_id} round {rnd}")
+                samples[(vm_id, rnd)] = (cpu, mem)
+                max_vm = max(max_vm, vm_id)
+                max_round = max(max_round, rnd)
+
+        if max_vm < 0:
+            raise ValueError(f"{path}: empty trace")
+        n_vms, n_rounds = max_vm + 1, max_round + 1
+        if len(samples) != n_vms * n_rounds:
+            raise ValueError(
+                f"{path}: sparse grid — {len(samples)} samples for "
+                f"{n_vms} VMs x {n_rounds} rounds"
+            )
+        data = np.empty((n_vms, n_rounds, N_RESOURCES), dtype=np.float64)
+        for (vm_id, rnd), (cpu, mem) in samples.items():
+            data[vm_id, rnd, CPU] = cpu
+            data[vm_id, rnd, MEM] = mem
+        super().__init__(data)

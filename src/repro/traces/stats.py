@@ -1,0 +1,87 @@
+"""Descriptive statistics of a trace — calibration sanity checks.
+
+Used by tests to assert that the Google-like generator actually has the
+statistics it claims (heavy tail, autocorrelation, diurnality) and by
+`examples/trace_analysis.py` to characterise any loaded trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.resources import CPU, MEM
+from repro.traces.base import ArrayTrace
+
+__all__ = ["TraceStatistics", "summarize_trace", "lag1_autocorrelation"]
+
+
+def lag1_autocorrelation(series: np.ndarray) -> float:
+    """Mean lag-1 autocorrelation across rows of a (n, t) array.
+
+    Rows with (near-)zero variance are skipped; returns 0.0 if all are.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] < 3:
+        raise ValueError(f"need a (n, t>=3) array, got shape {arr.shape}")
+    x = arr - arr.mean(axis=1, keepdims=True)
+    var = (x * x).mean(axis=1)
+    cov = (x[:, :-1] * x[:, 1:]).mean(axis=1)
+    ok = var > 1e-12
+    if not np.any(ok):
+        return 0.0
+    return float((cov[ok] / var[ok]).mean())
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary of one trace."""
+
+    n_vms: int
+    n_rounds: int
+    cpu_mean: float
+    cpu_std: float
+    cpu_p95: float
+    cpu_autocorr: float
+    mem_mean: float
+    mem_std: float
+    mem_autocorr: float
+    cpu_mem_correlation: float
+    mean_temporal_cv: float  # avg over VMs of (std over time / mean over time)
+
+    def __str__(self) -> str:
+        return (
+            f"TraceStatistics(vms={self.n_vms}, rounds={self.n_rounds}, "
+            f"cpu={self.cpu_mean:.3f}+/-{self.cpu_std:.3f} (p95={self.cpu_p95:.3f}, "
+            f"ac1={self.cpu_autocorr:.3f}), mem={self.mem_mean:.3f}+/-{self.mem_std:.3f}, "
+            f"corr={self.cpu_mem_correlation:.3f}, cv={self.mean_temporal_cv:.3f})"
+        )
+
+
+def summarize_trace(trace: ArrayTrace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a trace."""
+    cpu = trace.data[:, :, CPU]
+    mem = trace.data[:, :, MEM]
+    cpu_means = cpu.mean(axis=1)
+    cpu_stds = cpu.std(axis=1)
+    safe = cpu_means > 1e-9
+    cv = float((cpu_stds[safe] / cpu_means[safe]).mean()) if np.any(safe) else 0.0
+    mem_means = mem.mean(axis=1)
+    if cpu_means.std() > 1e-12 and mem_means.std() > 1e-12:
+        corr = float(np.corrcoef(cpu_means, mem_means)[0, 1])
+    else:
+        corr = 0.0
+    return TraceStatistics(
+        n_vms=trace.n_vms,
+        n_rounds=trace.n_rounds,
+        cpu_mean=float(cpu.mean()),
+        cpu_std=float(cpu.std()),
+        cpu_p95=float(np.percentile(cpu, 95.0)),
+        cpu_autocorr=lag1_autocorrelation(cpu) if trace.n_rounds >= 3 else 0.0,
+        mem_mean=float(mem.mean()),
+        mem_std=float(mem.std()),
+        mem_autocorr=lag1_autocorrelation(mem) if trace.n_rounds >= 3 else 0.0,
+        cpu_mem_correlation=corr,
+        mean_temporal_cv=cv,
+    )

@@ -1,0 +1,75 @@
+"""Terminal-friendly series rendering.
+
+No plotting dependency ships with the reproduction, so examples and
+reports render time series as ASCII: a one-line :func:`sparkline` for
+dashboards/tables and a multi-row :func:`timeline_table` for comparing
+several series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "timeline_table"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 48,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render a series as a fixed-width one-line ASCII sparkline.
+
+    Longer series are downsampled by bucket averaging.  ``lo``/``hi``
+    pin the scale (default: 0 .. series max), so multiple sparklines can
+    share an axis.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be > 0, got {width}")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1, dtype=int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])])
+    low = 0.0 if lo is None else float(lo)
+    high = float(arr.max()) if hi is None else float(hi)
+    if high <= low:
+        return " " * arr.size
+    scaled = np.clip((arr - low) / (high - low), 0.0, 1.0)
+    idx = np.minimum((scaled * (len(_BLOCKS) - 1)).astype(int), len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def timeline_table(
+    series: Dict[str, Sequence[float]],
+    width: int = 48,
+    shared_scale: bool = True,
+) -> str:
+    """Render named series as aligned sparkline rows.
+
+    With ``shared_scale`` all rows use one global maximum so magnitudes
+    are comparable across rows (the usual need when comparing policies).
+    """
+    if not series:
+        return ""
+    hi = None
+    if shared_scale:
+        hi = max(
+            (float(np.max(v)) for v in series.values() if len(v)), default=None
+        )
+    label_w = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=np.float64)
+        peak = arr.max() if arr.size else 0.0
+        lines.append(
+            f"{name:<{label_w}} |{sparkline(arr, width=width, hi=hi)}| "
+            f"peak {peak:g}"
+        )
+    return "\n".join(lines)

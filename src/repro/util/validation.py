@@ -1,0 +1,73 @@
+"""Small argument-validation helpers with consistent error messages.
+
+Configuration errors should fail loudly at construction time, not as
+NaNs 500 rounds into a simulation, so every public constructor funnels
+its numeric arguments through these checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def _check_finite_number(value: float, name: str) -> float:
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(out) or math.isinf(out):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return out
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    out = _check_finite_number(value, name)
+    if out <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return out
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    out = _check_finite_number(value, name)
+    if out < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return out
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return ``value`` if in [0, 1], else raise ``ValueError``.
+
+    Used for resource utilisations, thresholds, etc.
+    """
+    out = _check_finite_number(value, name)
+    if not 0.0 <= out <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return out
+
+
+# A probability is a fraction; distinct name for readability at call sites.
+check_probability = check_fraction
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Return ``value`` if within [low, high] (or (low, high)), else raise."""
+    out = _check_finite_number(value, name)
+    if inclusive:
+        if not low <= out <= high:
+            raise ValueError(f"{name} must be within [{low}, {high}], got {value!r}")
+    else:
+        if not low < out < high:
+            raise ValueError(f"{name} must be within ({low}, {high}), got {value!r}")
+    return out

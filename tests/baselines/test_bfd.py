@@ -1,0 +1,109 @@
+"""Tests for repro.baselines.bfd — the Figure 6 packing baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bfd import bfd_baseline_active_pms, bfd_pack
+
+from tests.conftest import make_constant_trace, make_datacenter
+
+CAP = np.array([10.0, 10.0])
+
+
+class TestBfdPack:
+    def test_single_item(self):
+        bins = bfd_pack(np.array([[5.0, 5.0]]), CAP)
+        assert bins == [[0]]
+
+    def test_perfect_fit(self):
+        demands = np.array([[5.0, 5.0]] * 4)
+        bins = bfd_pack(demands, CAP)
+        assert len(bins) == 2
+
+    def test_no_bin_overflows(self):
+        rng = np.random.default_rng(0)
+        demands = rng.uniform(0, 6, size=(30, 2))
+        bins = bfd_pack(demands, CAP)
+        for b in bins:
+            total = demands[b].sum(axis=0)
+            assert np.all(total <= CAP + 1e-9)
+
+    def test_all_items_placed_exactly_once(self):
+        rng = np.random.default_rng(1)
+        demands = rng.uniform(0, 4, size=(25, 2))
+        bins = bfd_pack(demands, CAP)
+        placed = sorted(i for b in bins for i in b)
+        assert placed == list(range(25))
+
+    def test_two_dimensional_constraint_respected(self):
+        # Items that fit by CPU but not memory must split bins.
+        demands = np.array([[1.0, 9.0], [1.0, 9.0]])
+        assert len(bfd_pack(demands, CAP)) == 2
+
+    def test_oversized_item_gets_own_bin(self):
+        demands = np.array([[15.0, 1.0], [1.0, 1.0]])
+        bins = bfd_pack(demands, CAP)
+        assert len(bins) == 2
+
+    def test_better_than_naive_one_bin_per_item(self):
+        rng = np.random.default_rng(2)
+        demands = rng.uniform(0.5, 3.0, size=(40, 2))
+        assert len(bfd_pack(demands, CAP)) < 40
+
+    def test_within_approximation_bound_of_lower_bound(self):
+        # FFD/BFD are 11/9 OPT + 1 for 1-D; use the volume lower bound as
+        # a sanity envelope for the vector case.
+        rng = np.random.default_rng(3)
+        demands = rng.uniform(0.0, 5.0, size=(60, 2))
+        bins = bfd_pack(demands, CAP)
+        lower = max(
+            np.ceil(demands[:, 0].sum() / CAP[0]),
+            np.ceil(demands[:, 1].sum() / CAP[1]),
+        )
+        assert len(bins) <= 2 * lower + 1
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            bfd_pack(np.ones((3,)), CAP)
+        with pytest.raises(ValueError):
+            bfd_pack(np.ones((3, 2)), np.ones(3))
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            bfd_pack(np.array([[-1.0, 1.0]]), CAP)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_property_valid_packing(self, n_items, seed):
+        rng = np.random.default_rng(seed)
+        demands = rng.uniform(0, 8, size=(n_items, 2))
+        bins = bfd_pack(demands, CAP)
+        placed = sorted(i for b in bins for i in b)
+        assert placed == list(range(n_items))
+        for b in bins:
+            if len(b) > 1:  # multi-item bins must respect capacity
+                assert np.all(demands[b].sum(axis=0) <= CAP + 1e-9)
+
+
+class TestBaselineActivePms:
+    def test_counts_bins_for_datacenter(self):
+        dc = make_datacenter(n_pms=10, n_vms=20)
+        baseline = bfd_baseline_active_pms(dc)
+        assert 1 <= baseline <= 20
+
+    def test_constant_demand_exact(self):
+        # 8 VMs at 50% CPU (250 MIPS): 2660//250 = 10 fit by CPU, memory
+        # allows 4096 // (0.5*613) = 13; so one PM suffices for 8.
+        trace = make_constant_trace(8, 4, cpu=0.5, mem=0.5)
+        from repro.datacenter.cluster import DataCenter
+
+        dc = DataCenter(8, 8, trace)
+        dc.place_randomly(np.random.default_rng(0))
+        dc.advance_round()
+        assert bfd_baseline_active_pms(dc) == 1
+
+    def test_baseline_never_above_vm_count(self):
+        dc = make_datacenter(n_pms=10, n_vms=15)
+        assert bfd_baseline_active_pms(dc) <= 15

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datacenter.cluster import DataCenter
+from repro.datacenter.resources import EC2_MICRO, HP_PROLIANT_ML110_G5
+from repro.datacenter.vm import VirtualMachine
+from repro.simulator.engine import Simulation
+from repro.simulator.node import Node
+from repro.traces.base import ArrayTrace
+from repro.traces.google import GoogleLikeTraceGenerator
+from repro.util.rng import RngStreams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> RngStreams:
+    return RngStreams(12345)
+
+
+def make_trace(n_vms: int, n_rounds: int, seed: int = 7) -> ArrayTrace:
+    """A small Google-like trace."""
+    return GoogleLikeTraceGenerator().generate(
+        n_vms, n_rounds, np.random.default_rng(seed)
+    )
+
+
+def make_constant_trace(n_vms: int, n_rounds: int, cpu: float, mem: float) -> ArrayTrace:
+    """A trace where every VM demands exactly (cpu, mem) every round."""
+    data = np.empty((n_vms, n_rounds, 2))
+    data[:, :, 0] = cpu
+    data[:, :, 1] = mem
+    return ArrayTrace(data)
+
+
+def make_vm(vm_id: int = 0, cpu: float = 0.5, mem: float = 0.4,
+            observations: int = 1) -> VirtualMachine:
+    """A VM with ``observations`` identical demand samples recorded."""
+    vm = VirtualMachine(vm_id, EC2_MICRO)
+    for _ in range(observations):
+        vm.observe_demand(np.array([cpu, mem]), 120.0)
+    return vm
+
+
+def make_datacenter(
+    n_pms: int = 10,
+    n_vms: int = 30,
+    n_rounds: int = 40,
+    seed: int = 7,
+    advance: bool = True,
+) -> DataCenter:
+    """A placed data centre with one round of demand observed."""
+    dc = DataCenter(n_pms, n_vms, make_trace(n_vms, n_rounds, seed))
+    dc.place_randomly(np.random.default_rng(seed))
+    if advance:
+        dc.advance_round()
+    return dc
+
+
+def make_simulation(dc: DataCenter, seed: int = 7) -> Simulation:
+    """A simulation whose nodes wrap the data centre's PMs."""
+    nodes = [Node(pm.pm_id, payload=pm) for pm in dc.pms]
+    return Simulation(nodes, np.random.default_rng(seed))
+
+
+@pytest.fixture
+def small_dc() -> DataCenter:
+    return make_datacenter()
+
+
+@pytest.fixture
+def dc_and_sim():
+    dc = make_datacenter()
+    return dc, make_simulation(dc)

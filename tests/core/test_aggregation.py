@@ -1,0 +1,109 @@
+"""Tests for repro.core.aggregation — Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import QAggregationProtocol, merge_qtables
+from repro.core.convergence import mean_pairwise_cosine
+from repro.core.qlearning import QLearningModel
+from repro.core.qtable import QTable
+from repro.overlay.cyclon import CyclonProtocol
+from repro.simulator.engine import Simulation
+from repro.simulator.node import Node
+
+
+class TestMergeQTables:
+    def test_both_ends_identical_after_merge(self):
+        a, b = QTable(), QTable()
+        a.set(0, 0, 2.0)
+        a.set(1, 1, 5.0)
+        b.set(0, 0, 4.0)
+        b.set(2, 2, -1.0)
+        merge_qtables(a, b)
+        assert dict(a.items()) == dict(b.items())
+        assert a.get(0, 0) == 3.0  # averaged
+        assert a.get(1, 1) == 5.0  # adopted by b
+        assert a.get(2, 2) == -1.0  # adopted by a
+
+    def test_merge_idempotent(self):
+        a, b = QTable(), QTable()
+        a.set(0, 0, 2.0)
+        b.set(0, 0, 4.0)
+        merge_qtables(a, b)
+        snapshot = dict(a.items())
+        merge_qtables(a, b)
+        assert dict(a.items()) == snapshot
+
+    def test_mass_conserved_for_shared_keys(self):
+        a, b = QTable(), QTable()
+        a.set(0, 0, 10.0)
+        b.set(0, 0, 2.0)
+        before = a.get(0, 0) + b.get(0, 0)
+        merge_qtables(a, b)
+        assert a.get(0, 0) + b.get(0, 0) == pytest.approx(before)
+
+
+def build_population(n=20, entries_per_node=4, seed=0):
+    rng = np.random.default_rng(seed)
+    models = {}
+    for nid in range(n):
+        model = QLearningModel()
+        for _ in range(entries_per_node):
+            model.q_out.set(int(rng.integers(81)), int(rng.integers(81)),
+                            float(rng.normal()))
+            model.q_in.set(int(rng.integers(81)), int(rng.integers(81)),
+                           float(rng.normal()))
+        models[nid] = model
+    cyclon = CyclonProtocol(6, 3, rng=np.random.default_rng(seed + 1))
+    cyclon.bootstrap_random(list(range(n)))
+    proto = QAggregationProtocol(models, cyclon, np.random.default_rng(seed + 2))
+    nodes = [Node(i) for i in range(n)]
+    for node in nodes:
+        node.register("cyclon", cyclon)
+        node.register("agg", proto)
+    sim = Simulation(nodes, np.random.default_rng(seed + 3))
+    return models, sim, proto
+
+
+class TestAggregationProtocol:
+    def test_similarity_increases_monotonically_ish(self):
+        models, sim, _ = build_population()
+        before = mean_pairwise_cosine(list(models.values()))
+        sim.run(1)
+        mid = mean_pairwise_cosine(list(models.values()))
+        sim.run(20)
+        after = mean_pairwise_cosine(list(models.values()))
+        assert before < mid <= after
+        assert after > 0.99
+
+    def test_converges_to_identical_maps(self):
+        # The paper's requirement: "it is essential for all PMs to own
+        # identical ones".
+        models, sim, _ = build_population(n=16, entries_per_node=3)
+        sim.run(40)
+        sim_score = mean_pairwise_cosine(list(models.values()))
+        assert sim_score > 0.99
+
+    def test_key_union_spreads_to_everyone(self):
+        models, sim, _ = build_population(n=10, entries_per_node=2)
+        union = set()
+        for m in models.values():
+            union |= set(m.q_out.keys())
+        sim.run(40)
+        for m in models.values():
+            assert set(m.q_out.keys()) == union
+
+    def test_exchange_counter_and_traffic(self):
+        models, sim, proto = build_population(n=10)
+        sim.run(2)
+        assert proto.exchanges > 0
+        assert sim.network.stats.per_kind.get("glap/aggregate/req", 0) > 0
+
+    def test_nodes_with_empty_maps_adopt_knowledge(self):
+        models, sim, _ = build_population(n=10, entries_per_node=2)
+        # Blank half the population (PMs too loaded to have trained).
+        for nid in range(5):
+            models[nid].q_out = QTable()
+            models[nid].q_in = QTable()
+        sim.run(30)
+        assert all(m.total_entries() > 0 for m in models.values())

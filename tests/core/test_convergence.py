@@ -1,0 +1,115 @@
+"""Tests for repro.core.convergence — similarity instrumentation and the
+Theorem 1 (gossip averaging CLT) empirical check."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    mean_pairwise_cosine,
+    qvalue_matrix,
+    similarity_to_mean,
+)
+from repro.core.qlearning import QLearningModel
+
+
+def model_with(out_entries=(), in_entries=()):
+    m = QLearningModel()
+    for s, a, v in out_entries:
+        m.q_out.set(s, a, v)
+    for s, a, v in in_entries:
+        m.q_in.set(s, a, v)
+    return m
+
+
+class TestQValueMatrix:
+    def test_union_key_columns(self):
+        a = model_with(out_entries=[(0, 0, 1.0)])
+        b = model_with(out_entries=[(1, 1, 2.0)])
+        mat = qvalue_matrix([a, b])
+        assert mat.shape == (2, 2)
+        # Unknown entries are 0.
+        assert sorted(mat[0].tolist()) == [0.0, 1.0]
+        assert sorted(mat[1].tolist()) == [0.0, 2.0]
+
+    def test_in_and_out_kept_separate(self):
+        a = model_with(out_entries=[(0, 0, 1.0)], in_entries=[(0, 0, -1.0)])
+        mat = qvalue_matrix([a])
+        assert mat.shape == (1, 2)
+        assert sorted(mat[0].tolist()) == [-1.0, 1.0]
+
+    def test_empty_models(self):
+        mat = qvalue_matrix([QLearningModel(), QLearningModel()])
+        assert mat.shape == (2, 0)
+
+    def test_no_models_rejected(self):
+        with pytest.raises(ValueError):
+            qvalue_matrix([])
+
+
+class TestMeanPairwiseCosine:
+    def test_identical_models_are_one(self):
+        a = model_with(out_entries=[(0, 0, 1.0), (1, 1, 2.0)])
+        b = a.copy()
+        assert mean_pairwise_cosine([a, b]) == pytest.approx(1.0)
+
+    def test_single_model_is_one(self):
+        assert mean_pairwise_cosine([QLearningModel()]) == 1.0
+
+    def test_empty_models_are_one(self):
+        assert mean_pairwise_cosine([QLearningModel(), QLearningModel()]) == 1.0
+
+    def test_disjoint_knowledge_is_zero(self):
+        a = model_with(out_entries=[(0, 0, 1.0)])
+        b = model_with(out_entries=[(1, 1, 1.0)])
+        assert mean_pairwise_cosine([a, b]) == pytest.approx(0.0)
+
+    def test_sampling_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        models = []
+        for _ in range(40):
+            m = QLearningModel()
+            for _ in range(6):
+                m.q_out.set(int(rng.integers(81)), int(rng.integers(81)),
+                            float(rng.normal(loc=1.0)))
+            models.append(m)
+        exact = mean_pairwise_cosine(models, max_pairs=10**9)
+        sampled = mean_pairwise_cosine(models, rng=np.random.default_rng(1),
+                                       max_pairs=200)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+
+class TestSimilarityToMean:
+    def test_identical_population(self):
+        a = model_with(out_entries=[(0, 0, 1.0)])
+        sims = similarity_to_mean([a, a.copy(), a.copy()])
+        np.testing.assert_allclose(sims, 1.0)
+
+    def test_outlier_detected(self):
+        base = model_with(out_entries=[(0, 0, 1.0), (1, 1, 1.0)])
+        outlier = model_with(out_entries=[(2, 2, 1.0)])  # disjoint knowledge
+        sims = similarity_to_mean([base, base.copy(), base.copy(), outlier])
+        assert sims[:3].min() > sims[3]
+
+    def test_empty_population_ones(self):
+        sims = similarity_to_mean([QLearningModel(), QLearningModel()])
+        np.testing.assert_array_equal(sims, [1.0, 1.0])
+
+
+class TestTheorem1:
+    def test_gossip_averaging_concentrates_to_population_mean(self):
+        """Empirical Theorem 1: repeated pairwise averaging of independent
+        initial values converges, per node, to the population mean with
+        shrinking variance (the CLT-style argument of section IV-C)."""
+        rng = np.random.default_rng(0)
+        n = 64
+        values = rng.exponential(scale=2.0, size=n)  # decidedly non-normal
+        target = values.mean()
+        x = values.copy()
+        for _ in range(30):  # rounds of random pairwise averaging
+            order = rng.permutation(n)
+            for i in range(0, n - 1, 2):
+                a, b = order[i], order[i + 1]
+                mean = 0.5 * (x[a] + x[b])
+                x[a] = x[b] = mean
+        assert x.mean() == pytest.approx(target)  # mass conservation
+        assert x.std() < 0.05 * values.std()  # concentration

@@ -1,0 +1,104 @@
+"""Tests for Q-model persistence and the pretrained-seeding mode."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.glap import GlapConfig, GlapPolicy
+from repro.core.qlearning import QLearningConfig, QLearningModel
+from repro.core.qtable import QTable
+from repro.util.rng import RngStreams
+
+from tests.conftest import make_datacenter, make_simulation
+
+
+class TestQTableSerialisation:
+    def test_roundtrip(self):
+        q = QTable()
+        q.set(3, 7, 1.5)
+        q.set(3, 8, -2.0)
+        q.set(80, 0, 0.25)
+        restored = QTable.from_dict(q.to_dict())
+        assert dict(restored.items()) == dict(q.items())
+
+    def test_json_safe(self):
+        q = QTable()
+        q.set(1, 2, 3.0)
+        json.dumps(q.to_dict())  # must not raise
+
+    def test_empty_roundtrip(self):
+        assert len(QTable.from_dict(QTable().to_dict())) == 0
+
+    def test_invalid_keys_rejected(self):
+        with pytest.raises(ValueError):
+            QTable.from_dict({"99": {"0": 1.0}})
+
+
+class TestModelSerialisation:
+    def model(self):
+        m = QLearningModel()
+        m.q_out.set(0, 1, 5.0)
+        m.q_in.set(2, 3, -7.0)
+        return m
+
+    def test_roundtrip(self):
+        m = self.model()
+        restored = QLearningModel.from_dict(m.to_dict())
+        assert dict(restored.q_out.items()) == {(0, 1): 5.0}
+        assert dict(restored.q_in.items()) == {(2, 3): -7.0}
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "model.json"
+        self.model().save(path)
+        restored = QLearningModel.load(path)
+        assert restored.q_in.get(2, 3) == -7.0
+
+    def test_load_with_config(self, tmp_path):
+        path = tmp_path / "model.json"
+        self.model().save(path)
+        cfg = QLearningConfig(alpha=0.9)
+        assert QLearningModel.load(path, config=cfg).config.alpha == 0.9
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            QLearningModel.from_dict({"q_out": {}, "bogus": {}})
+
+
+class TestPretrainedPolicy:
+    def test_export_then_seed_new_policy(self):
+        # Train briefly, export, seed a fresh policy: its nodes start
+        # with the exported knowledge instead of empty maps.
+        cfg = GlapConfig(aggregation_rounds=5)
+        dc = make_datacenter(n_pms=8, n_vms=24, n_rounds=60, advance=False)
+        sim = make_simulation(dc)
+        first = GlapPolicy(cfg)
+        first.attach(dc, sim, RngStreams(1), 15)
+        for _ in range(15):
+            dc.advance_round()
+            sim.run_round()
+        model = first.export_model()
+        assert model.total_entries() > 0
+
+        dc2 = make_datacenter(n_pms=8, n_vms=24, n_rounds=60, advance=False)
+        sim2 = make_simulation(dc2)
+        second = GlapPolicy(cfg, pretrained=model)
+        second.attach(dc2, sim2, RngStreams(2), 15)
+        for m in second.models.values():
+            assert m.total_entries() == model.total_entries()
+
+    def test_pretrained_models_are_independent_copies(self):
+        model = QLearningModel()
+        model.q_out.set(0, 0, 1.0)
+        cfg = GlapConfig(aggregation_rounds=5)
+        dc = make_datacenter(n_pms=4, n_vms=8, advance=False)
+        sim = make_simulation(dc)
+        policy = GlapPolicy(cfg, pretrained=model)
+        policy.attach(dc, sim, RngStreams(3), 10)
+        policy.models[0].q_out.set(0, 0, 99.0)
+        assert policy.models[1].q_out.get(0, 0) == 1.0
+        assert model.q_out.get(0, 0) == 1.0
+
+    def test_export_before_attach_rejected(self):
+        with pytest.raises(RuntimeError, match="attach"):
+            GlapPolicy().export_model()

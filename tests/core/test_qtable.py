@@ -1,0 +1,192 @@
+"""Tests for repro.core.qtable — update rule and gossip merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qtable import QTable
+
+values = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+keys = st.tuples(st.integers(0, 80), st.integers(0, 80))
+
+
+class TestBasics:
+    def test_unknown_defaults_to_zero(self):
+        q = QTable()
+        assert q.get(1, 2) == 0.0
+        assert q.get(1, 2, default=-5.0) == -5.0
+        assert not q.has(1, 2)
+
+    def test_set_get(self):
+        q = QTable()
+        q.set(3, 4, 1.5)
+        assert q.get(3, 4) == 1.5 and q.has(3, 4)
+        assert len(q) == 1
+
+    def test_key_bounds_checked(self):
+        q = QTable()
+        with pytest.raises(ValueError):
+            q.set(81, 0, 1.0)
+        with pytest.raises(ValueError):
+            q.set(0, -1, 1.0)
+
+    def test_items_and_keys(self):
+        q = QTable()
+        q.set(1, 2, 0.5)
+        q.set(1, 3, 0.7)
+        assert dict(q.items()) == {(1, 2): 0.5, (1, 3): 0.7}
+        assert sorted(q.keys()) == [(1, 2), (1, 3)]
+        assert q.states() == [1]
+
+    def test_copy_independent(self):
+        q = QTable()
+        q.set(0, 0, 1.0)
+        c = q.copy()
+        c.set(0, 0, 2.0)
+        assert q.get(0, 0) == 1.0
+
+    def test_to_vector(self):
+        q = QTable()
+        q.set(1, 1, 3.0)
+        vec = q.to_vector([(1, 1), (2, 2)])
+        np.testing.assert_array_equal(vec, [3.0, 0.0])
+
+
+class TestMaxValueAndBestAction:
+    def test_max_value_unknown_state_zero(self):
+        assert QTable().max_value(5) == 0.0
+
+    def test_max_value(self):
+        q = QTable()
+        q.set(5, 1, -2.0)
+        q.set(5, 2, 7.0)
+        assert q.max_value(5) == 7.0
+
+    def test_best_action_over_known(self):
+        q = QTable()
+        q.set(5, 1, 1.0)
+        q.set(5, 2, 3.0)
+        assert q.best_action(5) == 2
+
+    def test_best_action_unknown_state_none(self):
+        assert QTable().best_action(5) is None
+
+    def test_best_action_with_candidates_treats_unknown_as_zero(self):
+        q = QTable()
+        q.set(5, 1, -1.0)
+        # Candidate 9 is unknown (0.0) and beats the known -1.0.
+        assert q.best_action(5, candidates=[1, 9]) == 9
+
+    def test_best_action_empty_candidates_none(self):
+        assert QTable().best_action(5, candidates=[]) is None
+
+    def test_best_action_ties_break_to_lowest_action(self):
+        q = QTable()
+        q.set(5, 7, 2.0)
+        q.set(5, 3, 2.0)
+        assert q.best_action(5) == 3
+        assert q.best_action(5, candidates=[7, 3]) == 3
+
+
+class TestUpdate:
+    def test_paper_formula(self):
+        # Q' = (1-a)Q + a(R + g max Q(s'))
+        q = QTable()
+        q.set(0, 0, 10.0)
+        q.set(1, 0, 4.0)  # max over s'=1 is 4
+        new = q.update(0, 0, reward=2.0, next_state=1, alpha=0.5, gamma=0.9)
+        assert new == pytest.approx(0.5 * 10.0 + 0.5 * (2.0 + 0.9 * 4.0))
+        assert q.get(0, 0) == new
+
+    def test_update_from_unknown_starts_at_zero(self):
+        q = QTable()
+        new = q.update(0, 0, reward=1.0, next_state=1, alpha=0.5, gamma=0.0)
+        assert new == pytest.approx(0.5)
+
+    def test_gamma_zero_ignores_future(self):
+        q = QTable()
+        q.set(1, 0, 100.0)
+        new = q.update(0, 0, reward=1.0, next_state=1, alpha=1.0, gamma=0.0)
+        assert new == pytest.approx(1.0)
+
+    def test_alpha_one_is_deterministic_overwrite(self):
+        # Paper: alpha=1 "only considers the latest value".
+        q = QTable()
+        q.set(0, 0, 50.0)
+        new = q.update(0, 0, reward=3.0, next_state=1, alpha=1.0, gamma=0.0)
+        assert new == pytest.approx(3.0)
+
+    def test_invalid_alpha_gamma(self):
+        q = QTable()
+        with pytest.raises(ValueError):
+            q.update(0, 0, 1.0, 1, alpha=1.5, gamma=0.5)
+        with pytest.raises(ValueError):
+            q.update(0, 0, 1.0, 1, alpha=0.5, gamma=-0.1)
+
+    def test_repeated_updates_converge_to_fixed_point(self):
+        # With a fixed reward and terminal next state, Q -> R/(1 - g*[s'=s]).
+        q = QTable()
+        for _ in range(200):
+            q.update(0, 0, reward=5.0, next_state=1, alpha=0.3, gamma=0.8)
+        assert q.get(0, 0) == pytest.approx(5.0, abs=1e-6)
+
+
+class TestMerge:
+    def test_average_where_both(self):
+        a, b = QTable(), QTable()
+        a.set(0, 0, 2.0)
+        b.set(0, 0, 4.0)
+        a.merge(b)
+        assert a.get(0, 0) == 3.0
+
+    def test_adopt_where_only_other(self):
+        a, b = QTable(), QTable()
+        b.set(1, 1, 7.0)
+        a.merge(b)
+        assert a.get(1, 1) == 7.0
+
+    def test_keep_where_only_self(self):
+        a, b = QTable(), QTable()
+        a.set(2, 2, 9.0)
+        a.merge(b)
+        assert a.get(2, 2) == 9.0
+
+    def test_merge_does_not_mutate_other(self):
+        a, b = QTable(), QTable()
+        a.set(0, 0, 2.0)
+        b.set(0, 0, 4.0)
+        a.merge(b)
+        assert b.get(0, 0) == 4.0
+
+    @given(
+        st.dictionaries(keys, values, max_size=12),
+        st.dictionaries(keys, values, max_size=12),
+    )
+    @settings(max_examples=60)
+    def test_property_merge_key_union(self, da, db):
+        a, b = QTable(), QTable()
+        for (s, act), v in da.items():
+            a.set(s, act, v)
+        for (s, act), v in db.items():
+            b.set(s, act, v)
+        a.merge(b)
+        assert set(a.keys()) == set(da) | set(db)
+
+    @given(
+        st.dictionaries(keys, values, max_size=12),
+        st.dictionaries(keys, values, max_size=12),
+    )
+    @settings(max_examples=60)
+    def test_property_merge_values_within_hull(self, da, db):
+        # Every merged value lies between the two inputs (mean or copy).
+        a, b = QTable(), QTable()
+        for (s, act), v in da.items():
+            a.set(s, act, v)
+        for (s, act), v in db.items():
+            b.set(s, act, v)
+        a.merge(b)
+        for key in set(da) | set(db):
+            lo = min(da.get(key, db.get(key)), db.get(key, da.get(key)))
+            hi = max(da.get(key, db.get(key)), db.get(key, da.get(key)))
+            assert lo - 1e-9 <= a.get(*key) <= hi + 1e-9

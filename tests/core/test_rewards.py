@@ -1,0 +1,93 @@
+"""Tests for repro.core.rewards — the two incentive systems."""
+
+import numpy as np
+import pytest
+
+from repro.core.rewards import RewardIn, RewardOut
+from repro.core.states import N_LEVELS, N_STATES, UtilizationLevel, encode_state
+
+
+class TestRewardOut:
+    def test_default_strictly_decreasing(self):
+        r = RewardOut()
+        assert all(np.diff(r.per_level) < 0)
+
+    def test_default_all_positive(self):
+        # Paper: "for all r in R_out, r > 0".
+        assert all(RewardOut().per_level > 0)
+
+    def test_reward_is_sum_over_resources(self):
+        r = RewardOut()
+        state = encode_state((UtilizationLevel.LOW, UtilizationLevel.MEDIUM))
+        expected = r.per_level[0] + r.per_level[1]
+        assert r.of_state(state) == pytest.approx(expected)
+
+    def test_lighter_destination_earns_more(self):
+        # The core incentive: any transition to a lighter state pays more.
+        r = RewardOut()
+        low = encode_state((UtilizationLevel.LOW, UtilizationLevel.LOW))
+        heavy = encode_state((UtilizationLevel.XXXXXHIGH, UtilizationLevel.XXXXXHIGH))
+        assert r.of_state(low) > r.of_state(heavy) > 0
+
+    def test_of_levels_matches_of_state(self):
+        r = RewardOut()
+        levels = (UtilizationLevel.HIGH, UtilizationLevel.XHIGH)
+        assert r.of_levels(levels) == r.of_state(encode_state(levels))
+
+    def test_custom_schedule_validated_decreasing(self):
+        with pytest.raises(ValueError, match="decreasing"):
+            RewardOut([1, 2, 3, 4, 5, 6, 7, 8, 9])
+
+    def test_custom_schedule_validated_positive(self):
+        with pytest.raises(ValueError, match="> 0"):
+            RewardOut([8, 7, 6, 5, 4, 3, 2, 1, 0])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            RewardOut([3, 2, 1])
+
+    def test_all_state_codes_covered(self):
+        r = RewardOut()
+        for code in range(N_STATES):
+            assert np.isfinite(r.of_state(code))
+
+
+class TestRewardIn:
+    def test_default_positive_below_overload(self):
+        r = RewardIn()
+        assert all(r.per_level[:-1] > 0)
+
+    def test_overload_much_below_zero(self):
+        r = RewardIn()
+        assert r.per_level[-1] <= -100.0
+        # "<< 0": at least an order of magnitude beyond the positives.
+        assert abs(r.per_level[-1]) > 10 * r.per_level[:-1].max()
+
+    def test_transition_toward_overload_rewarded(self):
+        # PMs should be "avaricious": filling up (below overload) pays.
+        r = RewardIn()
+        fuller = encode_state((UtilizationLevel.XXXXXHIGH, UtilizationLevel.XXXXXHIGH))
+        assert r.of_state(fuller) > 0
+
+    def test_overload_in_any_resource_dominates(self):
+        r = RewardIn()
+        state = encode_state((UtilizationLevel.OVERLOAD, UtilizationLevel.LOW))
+        assert r.of_state(state) < 0
+
+    def test_custom_positive_overload_rejected(self):
+        with pytest.raises(ValueError, match="Overload"):
+            RewardIn([1, 2, 3, 4, 5, 6, 7, 8, 9])
+
+    def test_custom_negative_midlevel_rejected(self):
+        with pytest.raises(ValueError):
+            RewardIn([1, -2, 3, 4, 5, 6, 7, 8, -100])
+
+    def test_of_levels_matches_of_state(self):
+        r = RewardIn()
+        levels = (UtilizationLevel.OVERLOAD, UtilizationLevel.OVERLOAD)
+        assert r.of_levels(levels) == r.of_state(encode_state(levels))
+
+    def test_nan_schedule_rejected(self):
+        vals = [1, 2, 3, 4, 5, 6, 7, float("nan"), -100]
+        with pytest.raises(ValueError, match="finite"):
+            RewardIn(vals)

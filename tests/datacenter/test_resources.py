@@ -1,0 +1,58 @@
+"""Tests for repro.datacenter.resources."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.resources import (
+    CPU,
+    EC2_MICRO,
+    HP_PROLIANT_ML110_G5,
+    MEM,
+    N_RESOURCES,
+    RESOURCE_NAMES,
+    MachineSpec,
+)
+
+
+class TestConstants:
+    def test_resource_indices(self):
+        assert CPU == 0 and MEM == 1 and N_RESOURCES == 2
+        assert RESOURCE_NAMES == ("cpu", "mem")
+
+    def test_paper_pm_spec(self):
+        # Section V-A: HP ProLiant ML110 G5 — 2660 MIPS, 4 GB, 10 Gb/s.
+        assert HP_PROLIANT_ML110_G5.cpu_mips == 2660.0
+        assert HP_PROLIANT_ML110_G5.mem_mb == 4096.0
+        assert HP_PROLIANT_ML110_G5.bandwidth_mbps == 10_000.0
+
+    def test_paper_vm_spec(self):
+        # Section V-A: EC2 micro — 500 MIPS, 613 MB.
+        assert EC2_MICRO.cpu_mips == 500.0
+        assert EC2_MICRO.mem_mb == 613.0
+
+
+class TestMachineSpec:
+    def test_capacity_vector(self):
+        spec = MachineSpec(cpu_mips=100.0, mem_mb=200.0)
+        np.testing.assert_array_equal(spec.capacity_vector(), [100.0, 200.0])
+
+    def test_fraction_of(self):
+        frac = EC2_MICRO.fraction_of(HP_PROLIANT_ML110_G5)
+        assert frac[CPU] == pytest.approx(500 / 2660)
+        assert frac[MEM] == pytest.approx(613 / 4096)
+
+    def test_rejects_non_positive_cpu(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cpu_mips=0, mem_mb=1)
+
+    def test_rejects_non_positive_mem(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cpu_mips=1, mem_mb=-5)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cpu_mips=1, mem_mb=1, bandwidth_mbps=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EC2_MICRO.cpu_mips = 1000

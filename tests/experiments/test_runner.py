@@ -1,0 +1,133 @@
+"""Tests for repro.experiments.runner — fairness and run mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    POLICY_NAMES,
+    build_environment,
+    make_policy,
+    run_policy,
+    run_repetitions,
+)
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+SMALL = Scenario(
+    n_pms=12,
+    ratio=2,
+    rounds=15,
+    warmup_rounds=12,
+    repetitions=2,
+    trace_params=GoogleTraceParams(rounds_per_day=15),
+)
+
+
+def small_glap_kwargs():
+    from repro.core.glap import GlapConfig
+
+    return {"config": GlapConfig(aggregation_rounds=4)}
+
+
+class TestMakePolicy:
+    def test_all_paper_policies_constructible(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_case_insensitive(self):
+        assert make_policy("glap").name == "GLAP"
+        assert make_policy("ECOCLOUD").name == "EcoCloud"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("FancyNew")
+
+
+class TestBuildEnvironment:
+    def test_same_seed_same_workload(self):
+        dc_a, _, _ = build_environment(SMALL, 7)
+        dc_b, _, _ = build_environment(SMALL, 7)
+        np.testing.assert_array_equal(dc_a.placement(), dc_b.placement())
+        np.testing.assert_array_equal(
+            dc_a.trace.demands_at(3), dc_b.trace.demands_at(3)
+        )
+
+    def test_different_seed_different_workload(self):
+        dc_a, _, _ = build_environment(SMALL, 7)
+        dc_b, _, _ = build_environment(SMALL, 8)
+        assert not np.array_equal(dc_a.placement(), dc_b.placement())
+
+    def test_environment_independent_of_policy(self):
+        # The fairness guarantee: trace/placement never depend on which
+        # policy will run.
+        dc_a, sim_a, streams_a = build_environment(SMALL, 7)
+        make_policy("GRMP").attach(dc_a, sim_a, streams_a, SMALL.warmup_rounds)
+        dc_b, _, _ = build_environment(SMALL, 7)
+        np.testing.assert_array_equal(dc_a.placement(), dc_b.placement())
+
+    def test_sizes(self):
+        dc, sim, _ = build_environment(SMALL, 1)
+        assert dc.n_pms == 12 and dc.n_vms == 24
+        assert len(sim.nodes) == 12
+
+
+class TestRunPolicy:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_every_policy_completes(self, name):
+        kwargs = small_glap_kwargs() if name == "GLAP" else {}
+        result = run_policy(SMALL, make_policy(name, **kwargs), seed=1)
+        assert result.policy == name
+        assert result.rounds == SMALL.rounds
+        assert len(result.series["active"]) == SMALL.rounds
+        assert result.slav >= 0.0
+        assert result.final_active >= 1
+
+    def test_accounting_reset_before_evaluation(self):
+        result = run_policy(SMALL, make_policy("GRMP"), seed=1)
+        # SLAVO accounts only evaluation time: Ta = rounds * 120s.
+        # A PM awake the whole evaluation has exactly that much.
+        assert result.slavo <= 1.0
+
+    def test_deterministic(self):
+        a = run_policy(SMALL, make_policy("GRMP"), seed=5)
+        b = run_policy(SMALL, make_policy("GRMP"), seed=5)
+        assert a.total_migrations == b.total_migrations
+        assert a.slav == b.slav
+        np.testing.assert_array_equal(a.series["active"], b.series["active"])
+
+    def test_round_hook_called_per_round(self):
+        calls = []
+        run_policy(
+            SMALL,
+            make_policy("GRMP"),
+            seed=1,
+            round_hook=lambda r, dc, sim: calls.append(r),
+        )
+        assert calls == list(range(SMALL.rounds))
+
+    def test_slav_is_product(self):
+        result = run_policy(SMALL, make_policy("EcoCloud"), seed=2)
+        assert result.slav == pytest.approx(result.slavo * result.slalm)
+
+
+class TestRunRepetitions:
+    def test_distinct_seeds(self):
+        results = run_repetitions(SMALL, "GRMP")
+        assert len(results) == 2
+        assert results[0].seed != results[1].seed
+
+    def test_policy_kwargs_forwarded(self):
+        from repro.baselines.grmp import GrmpConfig
+
+        results = run_repetitions(
+            SMALL,
+            "GRMP",
+            repetitions=1,
+            policy_kwargs={"config": GrmpConfig(upper_threshold=0.5)},
+        )
+        assert len(results) == 1
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            run_repetitions(SMALL, "GRMP", repetitions=0)

@@ -1,0 +1,71 @@
+"""Tests for repro.experiments.scenarios."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    PAPER_RATIOS,
+    PAPER_SIZES,
+    Scenario,
+    paper_grid,
+    scaled_grid,
+)
+
+
+class TestScenario:
+    def test_derived_quantities(self):
+        sc = Scenario(n_pms=100, ratio=3, rounds=10, warmup_rounds=5)
+        assert sc.n_vms == 300
+        assert sc.total_rounds == 15
+        assert sc.label() == "100-3"
+
+    def test_paper_defaults(self):
+        sc = Scenario(n_pms=1000, ratio=2)
+        assert sc.rounds == 720  # 24h of 2-minute rounds
+        assert sc.warmup_rounds == 700  # "700 more rounds" for Q-values
+        assert sc.round_seconds == 120.0
+        assert sc.repetitions == 20
+
+    def test_seed_of_distinct_per_repetition(self):
+        sc = Scenario(n_pms=10, ratio=2)
+        seeds = [sc.seed_of(i) for i in range(5)]
+        assert len(set(seeds)) == 5
+
+    def test_seed_of_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n_pms=10, ratio=2).seed_of(-1)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n_pms=0, ratio=2)
+        with pytest.raises(ValueError):
+            Scenario(n_pms=10, ratio=2, rounds=0)
+
+    def test_scaled_keeps_ratio(self):
+        sc = Scenario(n_pms=1000, ratio=4)
+        small = sc.scaled(0.05)
+        assert small.n_pms == 50 and small.ratio == 4
+
+    def test_scaled_floor(self):
+        assert Scenario(n_pms=100, ratio=2).scaled(0.0001).n_pms == 10
+
+    def test_frozen(self):
+        sc = Scenario(n_pms=10, ratio=2)
+        with pytest.raises(Exception):
+            sc.n_pms = 20
+
+
+class TestGrids:
+    def test_paper_grid_is_3x3(self):
+        grid = paper_grid()
+        assert len(grid) == 9
+        assert {s.n_pms for s in grid} == set(PAPER_SIZES)
+        assert {s.ratio for s in grid} == set(PAPER_RATIOS)
+
+    def test_scaled_grid_shape(self):
+        grid = scaled_grid(sizes=(20, 40), ratios=(2, 3))
+        assert len(grid) == 4
+        assert all(s.trace_params is not None for s in grid)
+
+    def test_scaled_grid_compresses_diurnal_cycle(self):
+        grid = scaled_grid(sizes=(20,), ratios=(2,), rounds=100, warmup_rounds=90)
+        assert grid[0].trace_params.rounds_per_day == 90

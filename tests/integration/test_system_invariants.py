@@ -1,0 +1,95 @@
+"""System-level invariants that must hold for ANY policy at ANY round.
+
+Property-style integration tests: run each policy with randomised small
+scenarios and check conservation laws after every round:
+
+* every VM is hosted by exactly one PM (no loss, no duplication);
+* sleeping PMs host no VMs and never receive migrations;
+* PM utilisation views equal the sum of their VMs' demands;
+* migration records are consistent (src != dst, round stamps ordered).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.glap import GlapConfig
+from repro.experiments.runner import build_environment, make_policy
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+
+def check_invariants(dc):
+    hosted = [vm.vm_id for pm in dc.pms for vm in pm.vms]
+    assert sorted(hosted) == list(range(dc.n_vms)), "VM lost or duplicated"
+    for pm in dc.pms:
+        if pm.asleep:
+            assert pm.is_empty, f"sleeping PM {pm.pm_id} still hosts VMs"
+        expected = np.zeros(2)
+        for vm in pm.vms:
+            assert vm.host_id == pm.pm_id
+            expected += vm.current_demand_abs()
+        np.testing.assert_allclose(pm.demand_vector(), expected, atol=1e-9)
+    rounds = [m.round_index for m in dc.migrations]
+    assert rounds == sorted(rounds), "migration log out of order"
+    for m in dc.migrations:
+        assert m.src_pm != m.dst_pm
+        assert m.duration_s > 0
+
+
+@pytest.mark.parametrize("policy_name", ["GLAP", "EcoCloud", "GRMP", "PABFD"])
+@pytest.mark.parametrize("seed", [11, 23])
+def test_invariants_every_round(policy_name, seed):
+    scenario = Scenario(
+        n_pms=15,
+        ratio=3,
+        rounds=25,
+        warmup_rounds=25,
+        repetitions=1,
+        trace_params=GoogleTraceParams(rounds_per_day=25),
+    )
+    dc, sim, streams = build_environment(scenario, seed)
+    kwargs = {"config": GlapConfig(aggregation_rounds=8)} if policy_name == "GLAP" else {}
+    policy = make_policy(policy_name, **kwargs)
+    policy.attach(dc, sim, streams, scenario.warmup_rounds)
+    for _ in range(scenario.warmup_rounds):
+        dc.advance_round()
+        sim.run_round()
+        policy.step(dc, sim)
+        check_invariants(dc)
+    policy.end_warmup(dc, sim)
+    for _ in range(scenario.rounds):
+        dc.advance_round()
+        sim.run_round()
+        policy.step(dc, sim)
+        check_invariants(dc)
+
+
+@given(
+    n_pms=st.integers(min_value=4, max_value=20),
+    ratio=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=8, deadline=None)
+def test_property_grmp_conserves_vms(n_pms, ratio, seed):
+    """Fuzzed scenario shapes: the fastest policy, checked exhaustively."""
+    scenario = Scenario(
+        n_pms=n_pms,
+        ratio=ratio,
+        rounds=8,
+        warmup_rounds=4,
+        repetitions=1,
+        trace_params=GoogleTraceParams(rounds_per_day=8),
+    )
+    dc, sim, streams = build_environment(scenario, seed)
+    policy = make_policy("GRMP")
+    policy.attach(dc, sim, streams, scenario.warmup_rounds)
+    for _ in range(scenario.warmup_rounds):
+        dc.advance_round()
+        sim.run_round()
+    policy.end_warmup(dc, sim)
+    for _ in range(scenario.rounds):
+        dc.advance_round()
+        sim.run_round()
+        check_invariants(dc)

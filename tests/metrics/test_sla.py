@@ -1,0 +1,70 @@
+"""Tests for repro.metrics.sla — SLAVO, SLALM, SLAV."""
+
+import pytest
+
+from repro.datacenter.pm import PhysicalMachine
+from repro.datacenter.vm import VirtualMachine
+from repro.metrics.sla import slalm, slav, slavo
+
+
+def pm_with(active=1000.0, saturated=0.0, pm_id=0):
+    pm = PhysicalMachine(pm_id)
+    pm.active_seconds = active
+    pm.saturated_seconds = saturated
+    return pm
+
+
+def vm_with(requested=1000.0, degraded=0.0, vm_id=0):
+    vm = VirtualMachine(vm_id)
+    vm.cpu_requested_mips_s = requested
+    vm.cpu_degraded_mips_s = degraded
+    return vm
+
+
+class TestSlavo:
+    def test_no_saturation_zero(self):
+        assert slavo([pm_with(), pm_with(pm_id=1)]) == 0.0
+
+    def test_paper_formula(self):
+        # (1/N) * sum(Ts/Ta): (0.5 + 0.25)/2.
+        pms = [pm_with(1000, 500), pm_with(2000, 500, pm_id=1)]
+        assert slavo(pms) == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_never_active_pm_contributes_zero(self):
+        pms = [pm_with(1000, 500), pm_with(0, 0, pm_id=1)]
+        assert slavo(pms) == pytest.approx(0.25)
+
+    def test_fully_saturated(self):
+        assert slavo([pm_with(100, 100)]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slavo([])
+
+
+class TestSlalm:
+    def test_no_migrations_zero(self):
+        assert slalm([vm_with(), vm_with(vm_id=1)]) == 0.0
+
+    def test_paper_formula(self):
+        vms = [vm_with(1000, 10), vm_with(2000, 40, vm_id=1)]
+        assert slalm(vms) == pytest.approx((0.01 + 0.02) / 2)
+
+    def test_zero_request_contributes_zero(self):
+        vms = [vm_with(0, 0), vm_with(1000, 100, vm_id=1)]
+        assert slalm(vms) == pytest.approx(0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slalm([])
+
+
+class TestSlav:
+    def test_product(self):
+        pms = [pm_with(1000, 100)]
+        vms = [vm_with(1000, 50)]
+        assert slav(pms, vms) == pytest.approx(0.1 * 0.05)
+
+    def test_zero_when_either_factor_zero(self):
+        assert slav([pm_with()], [vm_with(1000, 100)]) == 0.0
+        assert slav([pm_with(1000, 100)], [vm_with()]) == 0.0

@@ -1,0 +1,84 @@
+"""Tests for repro.overlay.static — fixed random-regular overlays."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.static import StaticOverlay, build_random_regular_views
+from repro.simulator.engine import Simulation
+from repro.simulator.node import Node
+
+
+class TestGraphBuilder:
+    def test_minimum_degree_met(self, rng):
+        adj = build_random_regular_views(list(range(30)), degree=4, rng=rng)
+        assert all(len(neigh) >= 4 for neigh in adj.values())
+
+    def test_symmetric(self, rng):
+        adj = build_random_regular_views(list(range(20)), degree=3, rng=rng)
+        for u, neigh in adj.items():
+            for v in neigh:
+                assert u in adj[v]
+
+    def test_no_self_loops(self, rng):
+        adj = build_random_regular_views(list(range(20)), degree=3, rng=rng)
+        assert all(u not in neigh for u, neigh in adj.items())
+
+    def test_connected_via_ring(self, rng):
+        adj = build_random_regular_views(list(range(25)), degree=2, rng=rng)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        assert seen == set(range(25))
+
+    def test_invalid_degree(self, rng):
+        with pytest.raises(ValueError):
+            build_random_regular_views([0, 1, 2], degree=3, rng=rng)
+        with pytest.raises(ValueError):
+            build_random_regular_views([0, 1, 2], degree=0, rng=rng)
+
+    def test_too_few_nodes(self, rng):
+        with pytest.raises(ValueError):
+            build_random_regular_views([0], degree=1, rng=rng)
+
+
+class TestStaticOverlay:
+    def build(self, n=12, degree=3, seed=0):
+        rng = np.random.default_rng(seed)
+        overlay = StaticOverlay.random_regular(list(range(n)), degree, rng)
+        nodes = [Node(i) for i in range(n)]
+        sim = Simulation(nodes, np.random.default_rng(seed + 1))
+        return overlay, sim
+
+    def test_select_peer_is_neighbor(self):
+        overlay, sim = self.build()
+        node = sim.node(0)
+        for _ in range(10):
+            peer = overlay.select_peer(node, sim)
+            assert peer in overlay.neighbors(node)
+
+    def test_select_peer_skips_sleeping(self):
+        overlay, sim = self.build()
+        node = sim.node(0)
+        for nid in overlay.neighbors(node):
+            sim.node(nid).sleep()
+        assert overlay.select_peer(node, sim) is None
+
+    def test_no_self_neighbour_validation(self):
+        with pytest.raises(ValueError):
+            StaticOverlay({0: [0, 1], 1: [0]})
+
+    def test_execute_round_is_noop(self):
+        overlay, sim = self.build()
+        before = {n: list(overlay.neighbors(sim.node(n))) for n in range(12)}
+        overlay.execute_round(sim.node(0), sim)
+        after = {n: list(overlay.neighbors(sim.node(n))) for n in range(12)}
+        assert before == after
+
+    def test_unknown_node_has_no_neighbors(self):
+        overlay = StaticOverlay({0: [1], 1: [0]})
+        assert overlay.neighbors(Node(99)) == []

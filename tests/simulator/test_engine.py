@@ -1,0 +1,212 @@
+"""Tests for repro.simulator.engine — cycle-driven round semantics."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import Simulation
+from repro.simulator.node import Node
+from repro.simulator.observer import CallbackObserver
+from repro.simulator.protocol import Protocol
+
+
+class RecordingProtocol(Protocol):
+    """Logs every hook invocation as (hook, node_id, round)."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_round_start(self, node, sim):
+        self.calls.append(("start", node.node_id, sim.round_index))
+
+    def execute_round(self, node, sim):
+        self.calls.append(("exec", node.node_id, sim.round_index))
+
+    def on_wake(self, node, sim):
+        self.calls.append(("wake", node.node_id, sim.round_index))
+
+
+def build(n=5, seed=0, protocol=None, order=None):
+    nodes = [Node(i) for i in range(n)]
+    proto = protocol if protocol is not None else RecordingProtocol()
+    for node in nodes:
+        node.register("p", proto)
+    sim = Simulation(nodes, np.random.default_rng(seed), protocol_order=order)
+    return sim, proto
+
+
+class TestRoundExecution:
+    def test_every_live_node_executes_once_per_round(self):
+        sim, proto = build(n=6)
+        sim.run_round()
+        execs = [c for c in proto.calls if c[0] == "exec"]
+        assert sorted(nid for _, nid, _ in execs) == list(range(6))
+
+    def test_round_start_precedes_execution(self):
+        sim, proto = build(n=3)
+        sim.run_round()
+        first_exec = proto.calls.index(next(c for c in proto.calls if c[0] == "exec"))
+        starts = [i for i, c in enumerate(proto.calls) if c[0] == "start"]
+        assert all(i < first_exec for i in starts)
+
+    def test_round_index_advances(self):
+        sim, _ = build()
+        assert sim.round_index == 0
+        sim.run(3)
+        assert sim.round_index == 3
+
+    def test_sleeping_nodes_skipped(self):
+        sim, proto = build(n=4)
+        sim.node(2).sleep()
+        sim.run_round()
+        executed = {nid for kind, nid, _ in proto.calls if kind == "exec"}
+        assert executed == {0, 1, 3}
+
+    def test_node_sleeping_mid_round_not_executed_later(self):
+        class SleepOthers(Protocol):
+            """First node to run puts every higher-id node to sleep."""
+
+            def __init__(self):
+                self.executed = []
+
+            def execute_round(self, node, sim):
+                self.executed.append(node.node_id)
+                if len(self.executed) == 1:
+                    for other in sim.nodes:
+                        if other.node_id != node.node_id:
+                            other.sleep()
+
+        proto = SleepOthers()
+        sim, _ = build(n=5, protocol=proto)
+        sim.run_round()
+        assert len(proto.executed) == 1
+
+    def test_execution_order_varies_across_rounds(self):
+        class OrderTracker(Protocol):
+            def __init__(self):
+                self.orders = []
+                self._current = []
+
+            def on_round_start(self, node, sim):
+                pass
+
+            def execute_round(self, node, sim):
+                self._current.append(node.node_id)
+                if len(self._current) == sim.live_count():
+                    self.orders.append(tuple(self._current))
+                    self._current = []
+
+        proto = OrderTracker()
+        sim, _ = build(n=10, protocol=proto)
+        sim.run(20)
+        assert len(set(proto.orders)) > 1  # permutation is re-drawn per round
+
+    def test_negative_rounds_rejected(self):
+        sim, _ = build()
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+    def test_protocol_order_filter(self):
+        # Protocols absent from protocol_order get no active thread.
+        nodes = [Node(0), Node(1)]
+        active = RecordingProtocol()
+        passive = RecordingProtocol()
+        for n in nodes:
+            n.register("active", active)
+            n.register("passive", passive)
+        sim = Simulation(nodes, np.random.default_rng(0), protocol_order=["active"])
+        sim.run_round()
+        assert any(c[0] == "exec" for c in active.calls)
+        assert not any(c[0] == "exec" for c in passive.calls)
+
+
+class TestPopulation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation([Node(1), Node(1)], np.random.default_rng(0))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation([], np.random.default_rng(0))
+
+    def test_node_lookup(self):
+        sim, _ = build(n=3)
+        assert sim.node(2).node_id == 2
+        with pytest.raises(KeyError):
+            sim.node(99)
+
+    def test_live_count(self):
+        sim, _ = build(n=4)
+        assert sim.live_count() == 4
+        sim.node(0).sleep()
+        assert sim.live_count() == 3
+        assert len(sim.live_nodes()) == 3
+
+
+class TestObservers:
+    def test_observer_called_each_round(self):
+        sim, _ = build()
+        seen = []
+        sim.add_observer(CallbackObserver(lambda r, s: seen.append(r)))
+        sim.run(4)
+        assert seen == [0, 1, 2, 3]
+
+    def test_observer_sees_end_of_round_state(self):
+        class Sleeper(Protocol):
+            def execute_round(self, node, sim):
+                if node.node_id == 0:
+                    node.sleep()
+
+        sim, _ = build(n=3, protocol=Sleeper())
+        counts = []
+        sim.add_observer(CallbackObserver(lambda r, s: counts.append(s.live_count())))
+        sim.run_round()
+        assert counts == [2]
+
+    def test_on_simulation_end_called(self):
+        from repro.simulator.observer import Observer
+
+        class EndObserver(Observer):
+            def __init__(self):
+                self.ended = False
+
+            def observe(self, r, s):
+                pass
+
+            def on_simulation_end(self, s):
+                self.ended = True
+
+        sim, _ = build()
+        obs = EndObserver()
+        sim.add_observer(obs)
+        sim.run(2)
+        assert obs.ended
+
+    def test_callback_observer_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            CallbackObserver("not callable")
+
+
+class TestWake:
+    def test_wake_fires_hook(self):
+        sim, proto = build(n=2)
+        sim.node(1).sleep()
+        sim.wake(1)
+        assert sim.node(1).is_up
+        assert ("wake", 1, 0) in proto.calls
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            class Tracker(Protocol):
+                def __init__(self):
+                    self.sequence = []
+
+                def execute_round(self, node, sim):
+                    self.sequence.append(node.node_id)
+
+            proto = Tracker()
+            sim, _ = build(n=8, seed=seed, protocol=proto)
+            sim.run(5)
+            return proto.sequence
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

@@ -1,0 +1,79 @@
+"""Tests for repro.simulator.network — accounting and loss injection."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.network import Message, Network, NetworkStats
+
+
+class TestLosslessDelivery:
+    def test_deliver_returns_true(self):
+        net = Network()
+        assert net.deliver(Message(0, 1, "k")) is True
+
+    def test_counts_messages_and_bytes(self):
+        net = Network()
+        net.deliver(Message(0, 1, "a", size_bytes=10))
+        net.deliver(Message(1, 0, "b", size_bytes=32))
+        assert net.stats.messages_sent == 2
+        assert net.stats.bytes_sent == 42
+        assert net.stats.messages_dropped == 0
+
+    def test_per_kind_counters(self):
+        net = Network()
+        for _ in range(3):
+            net.deliver(Message(0, 1, "cyclon/shuffle"))
+        net.deliver(Message(0, 1, "glap/state"))
+        assert net.stats.per_kind["cyclon/shuffle"] == 3
+        assert net.stats.per_kind["glap/state"] == 1
+
+    def test_exchange_ok_counts_request_and_reply(self):
+        net = Network()
+        assert net.exchange_ok(0, 1, "x", size_bytes=5)
+        assert net.stats.messages_sent == 2
+        assert net.stats.bytes_sent == 10
+        assert set(net.stats.per_kind) == {"x/req", "x/rep"}
+
+    def test_reset_stats(self):
+        net = Network()
+        net.deliver(Message(0, 1, "a", size_bytes=1))
+        net.reset_stats()
+        assert net.stats.messages_sent == 0
+        assert net.stats.bytes_sent == 0
+        assert net.stats.per_kind == {}
+
+
+class TestLossInjection:
+    def test_full_loss_drops_everything(self):
+        net = Network(loss_probability=1.0, rng=np.random.default_rng(0))
+        assert net.deliver(Message(0, 1, "k")) is False
+        assert not net.exchange_ok(0, 1, "k")
+        assert net.stats.messages_dropped > 0
+
+    def test_loss_rate_approximates_probability(self):
+        net = Network(loss_probability=0.3, rng=np.random.default_rng(0))
+        outcomes = [net.deliver(Message(0, 1, "k")) for _ in range(4000)]
+        drop_rate = 1.0 - np.mean(outcomes)
+        assert drop_rate == pytest.approx(0.3, abs=0.03)
+
+    def test_exchange_fails_more_than_single_message(self):
+        # Request AND reply must survive: failure prob = 1 - (1-p)^2.
+        net = Network(loss_probability=0.2, rng=np.random.default_rng(1))
+        ok = [net.exchange_ok(0, 1, "k") for _ in range(4000)]
+        assert np.mean(ok) == pytest.approx(0.8**2, abs=0.03)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Network(loss_probability=1.5)
+
+
+class TestMessage:
+    def test_frozen(self):
+        msg = Message(0, 1, "k")
+        with pytest.raises(AttributeError):
+            msg.kind = "other"
+
+    def test_defaults(self):
+        msg = Message(0, 1, "k")
+        assert msg.payload is None
+        assert msg.size_bytes == 0

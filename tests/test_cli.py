@@ -1,0 +1,97 @@
+"""Tests for repro.cli."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "GLAP" and args.pms == 60
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "Nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figures", "--figure", "table1"])
+        assert args.figure == "table1"
+
+
+class TestFiguresCommand:
+    def test_figure5_path(self, capsys):
+        rc = main(["figures", "--figure", "5", "--pms", "10",
+                   "--rounds", "4", "--warmup", "35", "--reps", "1"])
+        assert rc == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "figure,expect",
+        [("6", "Figure 6"), ("7", "Figure 7"), ("8", "Figure 8"),
+         ("9", "Figure 9"), ("10", "Figure 10"), ("table1", "Table I")],
+    )
+    def test_sweep_backed_figures(self, figure, expect, capsys):
+        rc = main(["figures", "--figure", figure, "--pms", "8",
+                   "--rounds", "5", "--warmup", "35", "--reps", "1"])
+        assert rc == 0
+        assert expect in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        rc = main(["trace", "--vms", "4", "--rounds", "6", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "4 VMs x 6 rounds" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_small_run_prints_result(self, capsys):
+        rc = main(
+            ["run", "--policy", "GRMP", "--pms", "10", "--ratio", "2",
+             "--rounds", "8", "--warmup", "6"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GRMP" in out and "SLAVO" in out
+
+
+class TestCompareCommand:
+    def test_lists_all_policies(self, capsys):
+        rc = main(
+            ["compare", "--pms", "10", "--ratio", "2", "--rounds", "6",
+             "--warmup", "35"]  # > default GLAP aggregation rounds
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("GLAP", "EcoCloud", "GRMP", "PABFD"):
+            assert name in out
+
+
+class TestSweepCommand:
+    def test_writes_archive_and_report_reloads_it(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        rc = main(
+            ["sweep", "--sizes", "10", "--ratios", "2", "--rounds", "6",
+             "--warmup", "35", "--reps", "1", "--out", str(out)]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == 1
+        text = capsys.readouterr().out
+        assert "Figure 6" in text and "Table I" in text
+        assert "Paper-shape report" in text
+
+        # Re-analyse the archive without running any simulation.
+        rc = main(["report", "--results", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Figure 7" in text and "Paper-shape report" in text

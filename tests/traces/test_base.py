@@ -1,0 +1,77 @@
+"""Tests for repro.traces.base — ArrayTrace validation and access."""
+
+import numpy as np
+import pytest
+
+from repro.traces.base import ArrayTrace
+
+
+def valid_data(n_vms=4, n_rounds=6):
+    rng = np.random.default_rng(0)
+    return rng.random((n_vms, n_rounds, 2))
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        trace = ArrayTrace(valid_data())
+        assert trace.n_vms == 4 and trace.n_rounds == 6
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            ArrayTrace(np.zeros((4, 6)))
+
+    def test_rejects_wrong_resource_axis(self):
+        with pytest.raises(ValueError):
+            ArrayTrace(np.zeros((4, 6, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ArrayTrace(np.zeros((0, 6, 2)))
+
+    def test_rejects_out_of_range(self):
+        data = valid_data()
+        data[0, 0, 0] = 1.5
+        with pytest.raises(ValueError):
+            ArrayTrace(data)
+        data[0, 0, 0] = -0.1
+        with pytest.raises(ValueError):
+            ArrayTrace(data)
+
+    def test_rejects_nan(self):
+        data = valid_data()
+        data[1, 2, 0] = np.nan
+        with pytest.raises(ValueError):
+            ArrayTrace(data)
+
+
+class TestAccess:
+    def test_demands_at_shape(self):
+        trace = ArrayTrace(valid_data())
+        assert trace.demands_at(0).shape == (4, 2)
+
+    def test_demands_match_data(self):
+        data = valid_data()
+        trace = ArrayTrace(data)
+        np.testing.assert_array_equal(trace.demands_at(3), data[:, 3, :])
+
+    def test_wraps_modulo(self):
+        trace = ArrayTrace(valid_data(n_rounds=6))
+        np.testing.assert_array_equal(trace.demands_at(6), trace.demands_at(0))
+        np.testing.assert_array_equal(trace.demands_at(13), trace.demands_at(1))
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayTrace(valid_data()).demands_at(-1)
+
+    def test_subset_shares_memory(self):
+        trace = ArrayTrace(valid_data(n_vms=6))
+        sub = trace.subset(3)
+        assert sub.n_vms == 3
+        assert np.shares_memory(sub.data, trace.data)
+
+    def test_subset_bounds(self):
+        trace = ArrayTrace(valid_data(n_vms=4))
+        with pytest.raises(ValueError):
+            trace.subset(0)
+        with pytest.raises(ValueError):
+            trace.subset(5)

@@ -1,0 +1,75 @@
+"""Tests for repro.traces.loader — CSV round-tripping and validation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.loader import CsvTrace, write_trace_csv
+
+from tests.conftest import make_trace
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        trace = make_trace(5, 8)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        loaded = CsvTrace(path)
+        assert loaded.n_vms == 5 and loaded.n_rounds == 8
+        np.testing.assert_allclose(loaded.data, trace.data, atol=1e-6)
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(make_trace(2, 2), path)
+        assert path.read_text().splitlines()[0] == "vm_id,round,cpu,mem"
+
+
+class TestValidation:
+    def write(self, tmp_path, rows, header="vm_id,round,cpu,mem"):
+        path = tmp_path / "t.csv"
+        path.write_text("\n".join([header] + rows) + "\n")
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CsvTrace(tmp_path / "nope.csv")
+
+    def test_bad_header(self, tmp_path):
+        path = self.write(tmp_path, ["0,0,0.1,0.2"], header="a,b,c,d")
+        with pytest.raises(ValueError, match="header"):
+            CsvTrace(path)
+
+    def test_sparse_grid_rejected(self, tmp_path):
+        path = self.write(tmp_path, ["0,0,0.1,0.2", "1,1,0.1,0.2"])
+        with pytest.raises(ValueError, match="sparse"):
+            CsvTrace(path)
+
+    def test_duplicate_sample_rejected(self, tmp_path):
+        path = self.write(tmp_path, ["0,0,0.1,0.2", "0,0,0.3,0.4"])
+        with pytest.raises(ValueError, match="duplicate"):
+            CsvTrace(path)
+
+    def test_unparsable_row_rejected(self, tmp_path):
+        path = self.write(tmp_path, ["0,0,abc,0.2"])
+        with pytest.raises(ValueError, match="unparsable"):
+            CsvTrace(path)
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = self.write(tmp_path, ["0,0,0.1"])
+        with pytest.raises(ValueError, match="4 fields"):
+            CsvTrace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = self.write(tmp_path, [])
+        with pytest.raises(ValueError, match="empty"):
+            CsvTrace(path)
+
+    def test_out_of_range_fraction_rejected(self, tmp_path):
+        path = self.write(tmp_path, ["0,0,1.5,0.2"])
+        with pytest.raises(ValueError):
+            CsvTrace(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("vm_id,round,cpu,mem\n0,0,0.1,0.2\n\n")
+        trace = CsvTrace(path)
+        assert trace.n_vms == 1 and trace.n_rounds == 1

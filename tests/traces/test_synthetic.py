@@ -1,0 +1,159 @@
+"""Tests for repro.traces.synthetic — component generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    SyntheticTraceBuilder,
+    ar1_series,
+    burst_mask,
+    diurnal_profile,
+)
+
+
+class TestAr1:
+    def test_shape(self, rng):
+        assert ar1_series(5, 100, 0.9, 0.1, rng).shape == (5, 100)
+
+    def test_zero_sigma_is_zero(self, rng):
+        out = ar1_series(3, 50, 0.9, 0.0, rng)
+        np.testing.assert_array_equal(out, np.zeros((3, 50)))
+
+    def test_autocorrelation_matches_phi(self, rng):
+        out = ar1_series(200, 400, 0.8, 0.1, rng)
+        x = out - out.mean(axis=1, keepdims=True)
+        ac = (x[:, :-1] * x[:, 1:]).mean() / (x * x).mean()
+        assert ac == pytest.approx(0.8, abs=0.05)
+
+    def test_stationary_variance(self, rng):
+        phi, sigma = 0.7, 0.2
+        out = ar1_series(500, 200, phi, sigma, rng)
+        expected_var = sigma**2 / (1 - phi**2)
+        assert out.var() == pytest.approx(expected_var, rel=0.1)
+
+    def test_invalid_phi_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ar1_series(2, 10, 1.0, 0.1, rng)
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ar1_series(0, 10, 0.5, 0.1, rng)
+
+    def test_single_step(self, rng):
+        assert ar1_series(4, 1, 0.5, 0.1, rng).shape == (4, 1)
+
+
+class TestDiurnal:
+    def test_shape_and_zero_mean(self, rng):
+        out = diurnal_profile(50, 720, 720, (0.05, 0.15), rng)
+        assert out.shape == (50, 720)
+        assert abs(out.mean()) < 0.01
+
+    def test_amplitude_bounds(self, rng):
+        out = diurnal_profile(50, 720, 720, (0.05, 0.15), rng)
+        assert np.abs(out).max() <= 0.15 + 1e-9
+
+    def test_period(self, rng):
+        out = diurnal_profile(1, 200, 100, (0.1, 0.1), rng)
+        np.testing.assert_allclose(out[0, :100], out[0, 100:], atol=1e-9)
+
+    def test_shared_phase_correlates_series(self, rng):
+        shared = diurnal_profile(40, 300, 100, (0.1, 0.1), rng,
+                                 shared_phase_fraction=1.0)
+        corr = np.corrcoef(shared)
+        # With one global phase (plus small jitter) all series move together.
+        assert np.median(corr[np.triu_indices(40, k=1)]) > 0.8
+
+    def test_independent_phases_decorrelate(self, rng):
+        indep = diurnal_profile(40, 300, 100, (0.1, 0.1), rng,
+                                shared_phase_fraction=0.0)
+        corr = np.corrcoef(indep)
+        assert np.median(np.abs(corr[np.triu_indices(40, k=1)])) < 0.8
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            diurnal_profile(2, 10, 0, (0.1, 0.2), rng)
+        with pytest.raises(ValueError):
+            diurnal_profile(2, 10, 5, (0.2, 0.1), rng)
+        with pytest.raises(ValueError):
+            diurnal_profile(2, 10, 5, (0.1, 0.2), rng, shared_phase_fraction=2.0)
+
+
+class TestBursts:
+    def test_shape_and_dtype(self, rng):
+        mask = burst_mask(5, 100, 0.01, 5.0, rng)
+        assert mask.shape == (5, 100) and mask.dtype == bool
+
+    def test_zero_probability_no_bursts(self, rng):
+        assert not burst_mask(5, 100, 0.0, 5.0, rng).any()
+
+    def test_burst_frequency_reasonable(self, rng):
+        mask = burst_mask(200, 1000, 0.01, 10.0, rng)
+        # Stationary occupancy ~ p*d/(1+p*d) ~ 0.09.
+        assert 0.03 < mask.mean() < 0.2
+
+    def test_mean_duration(self, rng):
+        mask = burst_mask(300, 2000, 0.005, 8.0, rng)
+        # Measure run lengths of True.
+        durations = []
+        for row in mask:
+            run = 0
+            for v in row:
+                if v:
+                    run += 1
+                elif run:
+                    durations.append(run)
+                    run = 0
+        assert np.mean(durations) == pytest.approx(8.0, rel=0.2)
+
+    def test_invalid_duration(self, rng):
+        with pytest.raises(ValueError):
+            burst_mask(2, 10, 0.01, 0.5, rng)
+
+
+class TestBuilder:
+    def test_output_clipped_to_unit_box(self, rng):
+        means = np.full(10, 0.9)
+        trace = (
+            SyntheticTraceBuilder(10, 50, rng)
+            .with_cpu_base(means)
+            .with_cpu_noise(0.9, 0.3)
+            .with_cpu_bursts(0.05, 5.0, 0.5)
+            .with_mem_base(means)
+            .build()
+        )
+        assert trace.data.min() >= 0.0 and trace.data.max() <= 1.0
+
+    def test_base_levels_respected(self, rng):
+        means = np.linspace(0.1, 0.5, 10)
+        trace = (
+            SyntheticTraceBuilder(10, 200, rng)
+            .with_cpu_base(means)
+            .with_mem_base(means)
+            .build()
+        )
+        observed = trace.data[:, :, 0].mean(axis=1)
+        np.testing.assert_allclose(observed, means, atol=1e-9)
+
+    def test_mem_tracking_cpu(self, rng):
+        means = np.full(30, 0.5)
+        builder = (
+            SyntheticTraceBuilder(30, 300, rng)
+            .with_cpu_base(means)
+            .with_cpu_noise(0.9, 0.05)
+            .with_mem_base(means)
+            .with_mem_tracking_cpu(1.0)
+        )
+        trace = builder.build()
+        cpu = trace.data[:, :, 0]
+        mem = trace.data[:, :, 1]
+        corr = np.corrcoef(cpu.ravel(), mem.ravel())[0, 1]
+        assert corr > 0.8
+
+    def test_wrong_means_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SyntheticTraceBuilder(10, 5, rng).with_cpu_base(np.ones(3))
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SyntheticTraceBuilder(0, 5, rng)

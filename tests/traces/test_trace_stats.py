@@ -1,0 +1,57 @@
+"""Tests for repro.traces.stats — descriptive trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.base import ArrayTrace
+from repro.traces.stats import lag1_autocorrelation, summarize_trace
+
+
+class TestLag1Autocorrelation:
+    def test_constant_series_skipped(self):
+        arr = np.ones((3, 10))
+        assert lag1_autocorrelation(arr) == 0.0
+
+    def test_alternating_series_negative(self):
+        arr = np.tile([0.0, 1.0], 50)[None, :]
+        assert lag1_autocorrelation(arr) < -0.9
+
+    def test_smooth_series_positive(self):
+        t = np.linspace(0, 4 * np.pi, 200)
+        arr = np.sin(t)[None, :]
+        assert lag1_autocorrelation(arr) > 0.9
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            lag1_autocorrelation(np.ones((2, 2)))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            lag1_autocorrelation(np.ones(10))
+
+
+class TestSummarize:
+    def test_constant_trace(self):
+        data = np.full((4, 10, 2), 0.5)
+        stats = summarize_trace(ArrayTrace(data))
+        assert stats.cpu_mean == pytest.approx(0.5)
+        assert stats.cpu_std == pytest.approx(0.0)
+        assert stats.mean_temporal_cv == pytest.approx(0.0)
+        assert stats.cpu_mem_correlation == 0.0  # degenerate -> defined as 0
+
+    def test_correlated_resources(self):
+        rng = np.random.default_rng(0)
+        base = rng.random(50)[:, None] * np.ones((50, 20))
+        data = np.stack([base, base], axis=2) * 0.9
+        stats = summarize_trace(ArrayTrace(data))
+        assert stats.cpu_mem_correlation == pytest.approx(1.0)
+
+    def test_str_contains_key_numbers(self):
+        data = np.full((2, 5, 2), 0.25)
+        text = str(summarize_trace(ArrayTrace(data)))
+        assert "0.25" in text and "vms=2" in text
+
+    def test_counts(self):
+        data = np.full((7, 9, 2), 0.1)
+        stats = summarize_trace(ArrayTrace(data))
+        assert stats.n_vms == 7 and stats.n_rounds == 9

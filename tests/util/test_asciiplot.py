@@ -1,0 +1,64 @@
+"""Tests for repro.util.asciiplot."""
+
+import numpy as np
+import pytest
+
+from repro.util.asciiplot import sparkline, timeline_table
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_zero_is_blank(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_monotone_series_monotone_glyphs(self):
+        out = sparkline(list(range(10)))
+        ranks = [" .:-=+*#%@".index(c) for c in out]
+        assert ranks == sorted(ranks)
+
+    def test_downsampling_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_shared_scale_pins_magnitude(self):
+        small = sparkline([1, 1, 1], hi=10.0)
+        big = sparkline([10, 10, 10], hi=10.0)
+        assert small < big  # lighter glyphs for the small series
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
+
+    def test_values_clipped_to_scale(self):
+        out = sparkline([100.0], hi=10.0)
+        assert out == "@"
+
+
+class TestTimelineTable:
+    def test_empty(self):
+        assert timeline_table({}) == ""
+
+    def test_rows_aligned(self):
+        out = timeline_table({"a": [1, 2], "longer": [2, 1]})
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_shared_scale_comparable(self):
+        out = timeline_table({"low": [1, 1], "high": [10, 10]})
+        low_line, high_line = out.splitlines()
+        assert "@" in high_line and "@" not in low_line
+
+    def test_independent_scale(self):
+        out = timeline_table({"low": [1, 1], "high": [10, 10]},
+                             shared_scale=False)
+        low_line, high_line = out.splitlines()
+        assert "@" in low_line and "@" in high_line
+
+    def test_peaks_reported(self):
+        out = timeline_table({"x": [3, 7, 2]})
+        assert "peak 7" in out

@@ -1,0 +1,181 @@
+"""Tests for repro.util.stats — running stats, cosine similarity,
+percentile summaries — including hypothesis property tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    PercentileSummary,
+    RunningMean,
+    RunningStats,
+    cosine_similarity,
+    percentile_summary,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningMean:
+    def test_single_observation(self):
+        rm = RunningMean()
+        assert rm.update(0.5) == 0.5
+        assert rm.count == 1
+
+    def test_paper_formula(self):
+        # v' = (c*v + d) / (c+1) — the paper's {c, v} piggyback update.
+        rm = RunningMean(value=0.4, count=3)
+        assert rm.update(0.8) == pytest.approx((3 * 0.4 + 0.8) / 4)
+
+    def test_matches_numpy_mean(self):
+        rm = RunningMean()
+        xs = [0.1, 0.9, 0.3, 0.7, 0.2]
+        for x in xs:
+            rm.update(x)
+        assert rm.value == pytest.approx(np.mean(xs))
+
+    def test_merge_weighted(self):
+        a = RunningMean()
+        b = RunningMean()
+        for x in (1.0, 2.0, 3.0):
+            a.update(x)
+        b.update(10.0)
+        a.merge(b)
+        assert a.count == 4
+        assert a.value == pytest.approx((1 + 2 + 3 + 10) / 4)
+
+    def test_merge_with_empty_is_noop(self):
+        a = RunningMean()
+        a.update(5.0)
+        a.merge(RunningMean())
+        assert a.value == 5.0
+        assert a.count == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RunningMean(count=-1)
+
+    def test_copy_is_independent(self):
+        a = RunningMean()
+        a.update(1.0)
+        b = a.copy()
+        b.update(3.0)
+        assert a.value == 1.0 and b.value == 2.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_property_equals_arithmetic_mean(self, xs):
+        rm = RunningMean()
+        for x in xs:
+            rm.update(x)
+        assert rm.value == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        rs = RunningStats()
+        assert rs.mean == 0.0
+        assert rs.variance == 0.0
+
+    def test_matches_numpy(self):
+        xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.mean == pytest.approx(np.mean(xs))
+        assert rs.variance == pytest.approx(np.var(xs, ddof=1))
+        assert rs.min == 1.0
+        assert rs.max == 9.0
+
+    def test_single_sample_variance_zero(self):
+        rs = RunningStats()
+        rs.update(4.2)
+        assert rs.variance == 0.0
+        assert rs.std == 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=80))
+    @settings(max_examples=50)
+    def test_property_welford_matches_two_pass(self, xs):
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.mean == pytest.approx(float(np.mean(xs)), rel=1e-6, abs=1e-6)
+        assert rs.variance == pytest.approx(
+            float(np.var(xs, ddof=1)), rel=1e-6, abs=1e-4
+        )
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert cosine_similarity([1.0, 1.0], [-1.0, -1.0]) == pytest.approx(-1.0)
+
+    def test_both_zero_defined_as_one(self):
+        assert cosine_similarity(np.zeros(4), np.zeros(4)) == 1.0
+
+    def test_one_zero_gives_zero(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.ones(2), np.ones(3))
+
+    def test_scale_invariant(self):
+        a = np.array([0.3, 0.7, 0.1])
+        assert cosine_similarity(a, 100 * a) == pytest.approx(1.0)
+
+    @given(
+        st.lists(finite_floats, min_size=2, max_size=10),
+        st.lists(finite_floats, min_size=2, max_size=10),
+    )
+    @settings(max_examples=50)
+    def test_property_bounded(self, a, b):
+        n = min(len(a), len(b))
+        s = cosine_similarity(np.array(a[:n]), np.array(b[:n]))
+        assert -1.0 <= s <= 1.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=10))
+    @settings(max_examples=50)
+    def test_property_symmetric(self, a):
+        x = np.array(a)
+        y = x[::-1].copy()
+        assert cosine_similarity(x, y) == pytest.approx(cosine_similarity(y, x))
+
+
+class TestPercentileSummary:
+    def test_basic(self):
+        s = percentile_summary(list(range(1, 101)))
+        assert s.median == pytest.approx(50.5)
+        assert s.p10 < s.median < s.p90
+        assert s.count == 100
+
+    def test_single_sample(self):
+        s = percentile_summary([7.0])
+        assert s.median == s.p10 == s.p90 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_summary([])
+
+    def test_as_tuple(self):
+        s = PercentileSummary(median=1, p10=0, p90=2, mean=1, count=3)
+        assert s.as_tuple() == (1, 0, 2)
+
+    def test_str_contains_numbers(self):
+        text = str(percentile_summary([1.0, 2.0, 3.0]))
+        assert "2" in text
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_property_ordering(self, xs):
+        s = percentile_summary(xs)
+        assert s.p10 <= s.median <= s.p90
+        assert min(xs) <= s.median <= max(xs)

@@ -1,0 +1,87 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(math.inf, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_positive("abc", "x")
+
+    def test_coerces_to_float(self):
+        out = check_positive(3, "x")
+        assert isinstance(out, float) and out == 3.0
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.001, "x")
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0001, "x")
+
+    def test_rejects_below_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.0001, "x")
+
+    def test_probability_is_alias(self):
+        assert check_probability is check_fraction
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="loss_probability"):
+            check_fraction(2.0, "loss_probability")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+        assert check_in_range(1.5, "x", 1.0, 2.0, inclusive=False) == 1.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range(3.0, "x", 1.0, 2.0)
