@@ -11,10 +11,12 @@ from repro.core.learning import LocalTrainer, VmProfile
 from repro.core.qlearning import QLearningModel
 from repro.core.qtable import QTable
 from repro.core.states import state_code_fast
+from repro.datacenter.cluster import DataCenter
 from repro.datacenter.resources import EC2_MICRO, HP_PROLIANT_ML110_G5
 from repro.overlay.cyclon import CyclonProtocol
 from repro.simulator.engine import Simulation
 from repro.simulator.node import Node
+from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
 
 
 def test_state_encoding(benchmark):
@@ -90,3 +92,26 @@ def test_cyclon_round(benchmark):
     sim = Simulation(nodes, np.random.default_rng(1))
 
     benchmark(sim.run_round)
+
+
+def _big_dc(n_pms=2000, ratio=4, rounds=16):
+    """A paper-scale data centre (2000 PMs x ratio 4 = 8000 VMs)."""
+    n_vms = n_pms * ratio
+    trace = GoogleLikeTraceGenerator(
+        GoogleTraceParams(rounds_per_day=rounds)
+    ).generate(n_vms, rounds, np.random.default_rng(0))
+    dc = DataCenter(n_pms, n_vms, trace)
+    dc.place_randomly(np.random.default_rng(1))
+    dc.advance_round()
+    return dc
+
+
+def test_advance_round_2000pms(benchmark):
+    dc = _big_dc()
+    # advance_round wraps at the trace length, so repetition is safe.
+    benchmark(dc.advance_round)
+
+
+def test_utilization_matrix_2000pms(benchmark):
+    dc = _big_dc()
+    benchmark(dc.utilization_matrix)

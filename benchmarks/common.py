@@ -9,24 +9,36 @@ changes it:
 * unset / ``default``         — 40 PMs, ratios 2/3/4, 1 compressed day
   of warmup + 1 of evaluation, 2 repetitions (a few minutes total);
 * ``REPRO_BENCH_SCALE=paper`` — the paper's grid (500/1000/2000 PMs,
-  720+700 rounds, 20 reps).  Hours of CPU; run overnight.
+  720+700 rounds, 20 reps).
 
-EXPERIMENTS.md records which scale produced the committed numbers.
+The sweep runs through :func:`repro.experiments.parallel.run_sweep`, so
+``REPRO_JOBS=N`` spreads the (scenario, policy, repetition) cells over
+``N`` worker processes with bit-identical results — the paper grid drops
+from an overnight job to roughly ``1/N`` of that on an ``N``-core box.
+When ``REPRO_JOBS`` is unset, the quick scale uses 2 workers (so CI
+exercises the pool path) and the other scales run sequentially.
+
+Each session's sweep wall-clock is recorded in
+``benchmarks/results/BENCH_sweep.json`` keyed by scale; EXPERIMENTS.md
+records which scale produced the committed numbers.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.figures import SweepResults, run_sweep
+from repro.experiments.parallel import SweepResults, resolve_jobs, run_sweep
 from repro.experiments.runner import POLICY_NAMES
 from repro.experiments.scenarios import Scenario, paper_grid, scaled_grid
 
 __all__ = [
     "SHAPE_CHECKS",
     "bench_scenarios",
+    "bench_jobs",
     "get_sweep",
     "assert_ordering_mostly",
     "once",
@@ -36,6 +48,9 @@ __all__ = [
 #: Where benches persist their formatted tables (pytest captures stdout
 #: of passing tests, so a durable artefact is written as well).
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable sweep timings, merged across scales/sessions.
+SWEEP_TIMINGS_PATH = RESULTS_DIR / "BENCH_sweep.json"
 
 _SCALE = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
 
@@ -57,11 +72,50 @@ def bench_scenarios() -> List[Scenario]:
                        warmup_rounds=180, repetitions=2)
 
 
+def bench_jobs() -> int:
+    """Worker count for the bench sweep.
+
+    ``REPRO_JOBS`` wins when set; otherwise the quick scale uses 2
+    workers so CI exercises the process-pool path, and the heavier
+    scales default to sequential (results are identical either way).
+    """
+    if os.environ.get("REPRO_JOBS", "").strip():
+        return resolve_jobs(None)
+    return 2 if _SCALE == "quick" else 1
+
+
+def _record_sweep_timing(scenarios: Sequence[Scenario], jobs: int,
+                         wall_seconds: float) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    timings: Dict[str, dict] = {}
+    if SWEEP_TIMINGS_PATH.exists():
+        try:
+            timings = json.loads(SWEEP_TIMINGS_PATH.read_text())
+        except (ValueError, OSError):
+            timings = {}
+    timings[_SCALE] = {
+        "jobs": jobs,
+        "wall_seconds": round(wall_seconds, 2),
+        "n_scenarios": len(scenarios),
+        "repetitions": scenarios[0].repetitions if scenarios else 0,
+        "policies": list(POLICY_NAMES),
+    }
+    SWEEP_TIMINGS_PATH.write_text(json.dumps(timings, indent=2) + "\n")
+
+
 def get_sweep(policies: Sequence[str] = POLICY_NAMES) -> SweepResults:
-    """The (cached) full sweep for the active scale."""
+    """The (cached) full sweep for the active scale.
+
+    The first call per session runs the sweep (on :func:`bench_jobs`
+    workers) and appends its wall-clock to ``BENCH_sweep.json``.
+    """
     key = (_SCALE, tuple(policies))
     if key not in _sweep_cache:
-        _sweep_cache[key] = run_sweep(bench_scenarios(), policies=policies)
+        scenarios = bench_scenarios()
+        jobs = bench_jobs()
+        start = time.perf_counter()
+        _sweep_cache[key] = run_sweep(scenarios, policies=policies, jobs=jobs)
+        _record_sweep_timing(scenarios, jobs, time.perf_counter() - start)
     return _sweep_cache[key]
 
 

@@ -5,6 +5,7 @@
     glap run --policy GLAP --pms 60 --ratio 3            # one run
     glap compare --pms 60 --ratio 3 --reps 2             # all policies
     glap sweep --out results.json                        # scaled grid
+    glap sweep --jobs 4                                  # ... on 4 workers
     glap figures --figure 6                              # regenerate a figure
     glap trace --vms 100 --rounds 180 --out trace.csv    # export a trace
 
@@ -56,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--warmup", type=int, default=180, help="warmup rounds")
         p.add_argument("--seed", type=int, default=2016, help="base seed")
 
+    def add_jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="parallel worker processes (0 = one per CPU; default: "
+            "$REPRO_JOBS or 1; results are identical at any value)",
+        )
+
     p_run = sub.add_parser("run", help="run one policy on one scenario")
     add_scenario_args(p_run)
     p_run.add_argument("--policy", choices=POLICY_NAMES, default="GLAP")
@@ -71,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--warmup", type=int, default=180)
     p_sweep.add_argument("--reps", type=int, default=2)
     p_sweep.add_argument("--out", type=str, default=None, help="JSON output path")
+    add_jobs_arg(p_sweep)
 
     p_fig = sub.add_parser("figures", help="regenerate one paper figure/table")
     p_fig.add_argument(
@@ -82,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--rounds", type=int, default=180)
     p_fig.add_argument("--warmup", type=int, default=180)
     p_fig.add_argument("--reps", type=int, default=1)
+    add_jobs_arg(p_fig)
 
     p_report = sub.add_parser(
         "report", help="re-analyse an archived sweep (no simulation)"
@@ -143,7 +155,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup_rounds=args.warmup,
         repetitions=args.reps,
     )
-    results = run_sweep(scenarios)
+    results = run_sweep(scenarios, jobs=args.jobs)
     print(format_figure6(figure6_overload_fraction(results)))
     print()
     print(format_table1(table1_sla(results), results.policies))
@@ -179,7 +191,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         warmup_rounds=args.warmup,
         repetitions=args.reps,
     )
-    results = run_sweep(scenarios)
+    results = run_sweep(scenarios, jobs=args.jobs)
     if args.figure == "6":
         print(format_figure6(figure6_overload_fraction(results)))
     elif args.figure == "7":

@@ -39,9 +39,9 @@ def merge_qtables(a: QTable, b: QTable) -> None:
     """
     a.merge(b)  # a now holds the merged map
     # b adopts a's merged content (push-pull: both ends update); every key
-    # formerly only in b was already folded into a by merge().
-    for (s, act), v in a.items():
-        b.set(s, act, v)
+    # formerly only in b was already folded into a by merge(), so b's
+    # post-state is exactly a copy of a.
+    b.copy_from(a)
 
 
 class QAggregationProtocol(Protocol):

@@ -130,15 +130,21 @@ class LocalTrainer:
         pool = list(profiles)
         if not pool:
             return pool
-        total = np.zeros(N_RESOURCES)
-        for p in pool:
-            total += p.average_abs
+        # Scalar accumulators: the duplication loop runs up to
+        # max_profiles times per training round, so per-step ndarray
+        # comparisons would dominate it.
+        total_cpu = float(sum(p.average_abs[0] for p in pool))
+        total_mem = float(sum(p.average_abs[1] for p in pool))
         target = self.coverage_target * self.pm_capacity
+        target_cpu, target_mem = float(target[0]), float(target[1])
         i = 0
-        while np.any(total < target) and len(pool) < self.max_profiles:
+        while (total_cpu < target_cpu or total_mem < target_mem) and len(
+            pool
+        ) < self.max_profiles:
             dup = pool[i % len(profiles)]
             pool.append(dup)
-            total += dup.average_abs
+            total_cpu += float(dup.average_abs[0])
+            total_mem += float(dup.average_abs[1])
             i += 1
         return pool
 
@@ -156,15 +162,32 @@ class LocalTrainer:
         n = len(pool)
         if n < 2:
             return 0
-        avg = np.vstack([p.average_abs for p in pool]) / self.pm_capacity
-        cur = np.vstack([p.current_abs for p in pool]) / self.pm_capacity
-        actions = np.array([p.action_code() for p in pool], dtype=np.int64)
+        # The pool repeats the base profiles (duplication shares objects),
+        # so densify the few distinct profiles once and gather pool rows.
+        base_index = {id(p): i for i, p in enumerate(profiles)}
+        pool_idx = np.fromiter(
+            (base_index[id(p)] for p in pool), dtype=np.intp, count=n
+        )
+        base_avg = np.vstack([p.average_abs for p in profiles]) / self.pm_capacity
+        base_cur = np.vstack([p.current_abs for p in profiles]) / self.pm_capacity
+        base_actions = np.array(
+            [p.action_code() for p in profiles], dtype=np.int64
+        )
+        actions = base_actions[pool_idx]
 
         alpha = self.model.config.alpha
         gamma = self.model.config.gamma
         reward_out = self.model.config.reward_out
         reward_in = self.model.config.reward_in
         q_out, q_in = self.model.q_out, self.model.q_in
+
+        # Per-resource 1D columns: every group statistic the loop needs
+        # is a prefix sum over the permuted pool, so four cumulative sums
+        # per iteration replace all 2D gathers and axis reductions.
+        avg0 = np.ascontiguousarray(base_avg[pool_idx, 0])
+        avg1 = np.ascontiguousarray(base_avg[pool_idx, 1])
+        cur0 = np.ascontiguousarray(base_cur[pool_idx, 0])
+        cur1 = np.ascontiguousarray(base_cur[pool_idx, 1])
 
         updates = 0
         for _ in range(self.iterations_per_round):
@@ -177,34 +200,45 @@ class LocalTrainer:
             # overloaded from the start and Q_in learns to reject
             # everything.
             perm = self._rng.permutation(n)
-            cums = np.cumsum(avg[perm], axis=0).max(axis=1)
+            ca0 = avg0[perm].cumsum()
+            ca1 = avg1[perm].cumsum()
+            cums = np.maximum(ca0, ca1)
             k_s = int(np.searchsorted(cums, self._rng.uniform(0.15, 1.3))) + 1
             k_s = min(k_s, n - 1)  # leave at least one profile for the target
-            rest = perm[k_s:]
-            cumt = np.cumsum(avg[rest], axis=0).max(axis=1)
+            base0, base1 = ca0[k_s - 1], ca1[k_s - 1]
+            cumt = np.maximum(ca0[k_s:] - base0, ca1[k_s:] - base1)
             k_t = int(np.searchsorted(cumt, self._rng.uniform(0.1, 1.2))) + 1
-            senders = perm[:k_s]
-            targets = rest[:k_t]
+            k_t = min(k_t, n - k_s)  # all remaining profiles at most
 
-            pick = senders[int(self._rng.integers(k_s))]
+            pick = perm[int(self._rng.integers(k_s))]
             action = int(actions[pick])
 
+            cc0 = cur0[perm].cumsum()
+            cc1 = cur1[perm].cumsum()
+
             # Sender update: state before from averages (with vm), state
-            # after from currents (without vm).
-            s_avg = avg[senders].sum(axis=0)
-            s_cur = cur[senders].sum(axis=0) - cur[pick]
-            s_before = state_code_fast(s_avg[0], s_avg[1])
-            s_after = state_code_fast(max(s_cur[0], 0.0), max(s_cur[1], 0.0))
+            # after from currents (without vm).  float() casts: chained
+            # comparisons in the encoder are faster on Python floats than
+            # on NumPy scalars.
+            s_before = state_code_fast(float(base0), float(base1))
+            s_after = state_code_fast(
+                max(float(cc0[k_s - 1] - cur0[pick]), 0.0),
+                max(float(cc1[k_s - 1] - cur1[pick]), 0.0),
+            )
             q_out.update(
                 s_before, action, reward_out.of_state(s_after), s_after, alpha, gamma
             )
 
             # Recipient update: state before from averages (without vm),
             # state after from currents (with vm).
-            t_avg = avg[targets].sum(axis=0)
-            t_cur = cur[targets].sum(axis=0) + cur[pick]
-            t_before = state_code_fast(t_avg[0], t_avg[1])
-            t_after = state_code_fast(t_cur[0], t_cur[1])
+            last = k_s + k_t - 1
+            t_before = state_code_fast(
+                float(ca0[last] - base0), float(ca1[last] - base1)
+            )
+            t_after = state_code_fast(
+                float(cc0[last] - cc0[k_s - 1] + cur0[pick]),
+                float(cc1[last] - cc1[k_s - 1] + cur1[pick]),
+            )
             q_in.update(
                 t_before, action, reward_in.of_state(t_after), t_after, alpha, gamma
             )

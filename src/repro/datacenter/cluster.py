@@ -17,9 +17,11 @@ import numpy as np
 from repro.datacenter.migration import MigrationModel, MigrationRecord
 from repro.datacenter.pm import PhysicalMachine
 from repro.datacenter.resources import (
+    CPU,
     EC2_MICRO,
     HP_PROLIANT_ML110_G5,
     MachineSpec,
+    N_RESOURCES,
 )
 from repro.datacenter.vm import VirtualMachine
 from repro.util.validation import check_positive
@@ -82,6 +84,19 @@ class DataCenter:
         )
         self.migrations: List[MigrationRecord] = []
         self.current_round = -1  # no demand observed yet
+        # Columnar demand state: every VM monitor's current/average row is
+        # a view into these matrices, so one vectorised assignment per
+        # round refreshes all monitors at once (advance_round) and the
+        # aggregate views (utilization_matrix, overloaded_count) reduce
+        # to bincount/matrix ops instead of per-object Python loops.
+        self._cur = np.zeros((n_vms, N_RESOURCES), dtype=np.float64)
+        self._avg = np.zeros((n_vms, N_RESOURCES), dtype=np.float64)
+        for i, vm in enumerate(self.vms):
+            vm.monitor.bind(self._cur[i], self._avg[i])
+        self._vm_cap = np.vstack([vm.spec.capacity_vector() for vm in self.vms])
+        self._pm_cap = np.vstack([pm.spec.capacity_vector() for pm in self.pms])
+        self._vm_cpu_mips = self._vm_cap[:, CPU].copy()
+        self._pm_cpu_mips = self._pm_cap[:, CPU].copy()
 
     # -- lookups ----------------------------------------------------------
 
@@ -141,14 +156,41 @@ class DataCenter:
 
     def advance_round(self) -> int:
         """Move to the next trace round: refresh all VM demands, accrue
-        PM active/saturated time.  Returns the new round index."""
+        PM active/saturated time.  Returns the new round index.
+
+        The demand refresh is a single vectorised update of the shared
+        demand matrices all VM monitors are bound to; the per-VM Python
+        loop only bumps scalar bookkeeping.
+        """
         self.current_round += 1
-        demands = self.trace.demands_at(self.current_round)  # (n_vms, R) fractions
-        for vm in self.vms:
-            vm.observe_demand(demands[vm.vm_id], self.round_seconds)
+        demands = np.asarray(
+            self.trace.demands_at(self.current_round), dtype=np.float64
+        )[: self.n_vms]
+        if demands.shape != (self.n_vms, N_RESOURCES):
+            raise ValueError(
+                f"trace returned demand shape {demands.shape}, expected "
+                f"({self.n_vms}, {N_RESOURCES})"
+            )
+        if np.any(demands < 0.0) or np.any(demands > 1.0):
+            raise ValueError("demand fractions must be in [0, 1]")
+        # The paper's {c, v} piggyback update, for every monitor at once:
+        # v' = (c*v + d) / (c + 1).  Counts are gathered (not assumed
+        # uniform) so directly-observed monitors stay correct.
+        counts = np.fromiter(
+            (vm.monitor.count for vm in self.vms), dtype=np.float64, count=self.n_vms
+        )[:, None]
+        self._avg[:] = (counts * self._avg + demands) / (counts + 1.0)
+        self._cur[:] = demands
+        # Requested CPU accrual (the SLALM C_r term), same op order as the
+        # scalar path: (d * mips) * round_seconds.
+        cpu_req = (demands[:, CPU] * self._vm_cpu_mips) * self.round_seconds
+        for vm, inc in zip(self.vms, cpu_req):
+            vm.monitor.count += 1
+            vm.cpu_requested_mips_s += float(inc)
+        pm_cpu = self.pm_cpu_demand_mips()
         for pm in self.pms:
             if not pm.asleep:
-                pm.account_round(self.round_seconds)
+                pm.account_round(self.round_seconds, float(pm_cpu[pm.pm_id]))
         return self.current_round
 
     # -- migration (the single chokepoint) ------------------------------------------
@@ -196,20 +238,56 @@ class DataCenter:
     def active_count(self) -> int:
         return sum(1 for pm in self.pms if not pm.asleep)
 
-    def overloaded_count(self) -> int:
-        return sum(
-            1 for pm in self.pms if not pm.asleep and pm.is_overloaded()
+    def awake_mask(self) -> np.ndarray:
+        """Boolean (n_pms,) array: True where the PM is awake."""
+        return np.fromiter(
+            (not pm.asleep for pm in self.pms), dtype=bool, count=self.n_pms
         )
+
+    def pm_demand_matrix(self, *, use_average: bool = False) -> np.ndarray:
+        """(n_pms, N_RESOURCES) absolute demand ([MIPS, MB]) aggregated
+        per host PM, uncapped; sleep state is ignored (a sleeping PM's
+        hosted VMs still show up, as in ``PhysicalMachine.demand_vector``)."""
+        frac = self._avg if use_average else self._cur
+        abs_demand = frac * self._vm_cap
+        hosts = self.placement()
+        placed = hosts >= 0
+        h = hosts[placed]
+        out = np.empty((self.n_pms, N_RESOURCES), dtype=np.float64)
+        for r in range(N_RESOURCES):
+            out[:, r] = np.bincount(
+                h, weights=abs_demand[placed, r], minlength=self.n_pms
+            )
+        return out
+
+    def pm_cpu_demand_mips(self) -> np.ndarray:
+        """(n_pms,) aggregate current CPU demand in MIPS, uncapped."""
+        hosts = self.placement()
+        placed = hosts >= 0
+        return np.bincount(
+            hosts[placed],
+            weights=self._cur[placed, CPU] * self._vm_cpu_mips[placed],
+            minlength=self.n_pms,
+        )
+
+    def cpu_utilizations(self) -> np.ndarray:
+        """(n_pms,) current CPU utilisation fractions, capped at 1
+        (vectorised counterpart of ``PhysicalMachine.cpu_utilization``)."""
+        u = self.pm_cpu_demand_mips() / self._pm_cpu_mips
+        np.minimum(u, 1.0, out=u)
+        return u
+
+    def overloaded_count(self) -> int:
+        u = self.pm_demand_matrix() / self._pm_cap
+        overloaded = np.any(u >= 1.0, axis=1)
+        return int(np.count_nonzero(overloaded & self.awake_mask()))
 
     def utilization_matrix(self, *, use_average: bool = False) -> np.ndarray:
         """(n_pms, N_RESOURCES) utilisation snapshot; sleeping PMs are 0."""
-        rows = [
-            pm.utilization(use_average=use_average)
-            if not pm.asleep
-            else np.zeros(2)
-            for pm in self.pms
-        ]
-        return np.vstack(rows)
+        u = self.pm_demand_matrix(use_average=use_average) / self._pm_cap
+        np.minimum(u, 1.0, out=u)
+        u[~self.awake_mask()] = 0.0
+        return u
 
     def total_migration_energy_j(self) -> float:
         return float(sum(m.energy_j for m in self.migrations))

@@ -22,6 +22,13 @@ class VmMonitor:
     """Tracks current demand and the ``{c, v}`` running average per resource.
 
     Demands are fractions of the VM's own nominal spec, in [0, 1].
+
+    ``current`` and ``average`` may be *views* into a
+    :class:`~repro.datacenter.cluster.DataCenter`-owned demand matrix
+    (see :meth:`bind`), which lets the data centre refresh every VM's
+    demand in one vectorised operation per round.  All updates are
+    therefore performed in place — rebinding the attributes would detach
+    the monitor from its backing rows.
     """
 
     __slots__ = ("current", "average", "count")
@@ -31,6 +38,22 @@ class VmMonitor:
         self.average = np.zeros(N_RESOURCES, dtype=np.float64)
         self.count = 0
 
+    def bind(self, current_row: np.ndarray, average_row: np.ndarray) -> None:
+        """Adopt external array rows as this monitor's storage.
+
+        The rows take over the monitor's present values, so binding is
+        transparent to any state recorded before it.
+        """
+        if current_row.shape != (N_RESOURCES,) or average_row.shape != (N_RESOURCES,):
+            raise ValueError(
+                f"bind rows must have shape ({N_RESOURCES},), got "
+                f"{current_row.shape} / {average_row.shape}"
+            )
+        current_row[:] = self.current
+        average_row[:] = self.average
+        self.current = current_row
+        self.average = average_row
+
     def observe(self, demand: np.ndarray) -> None:
         """Fold one profiling sample (length-``N_RESOURCES`` fractions) in."""
         d = np.asarray(demand, dtype=np.float64)
@@ -39,9 +62,8 @@ class VmMonitor:
         if np.any(d < 0.0) or np.any(d > 1.0):
             raise ValueError(f"demand fractions must be in [0, 1], got {d}")
         # v' = (c*v + d) / (c + 1)   — the paper's piggyback update.
-        self.average = (self.count * self.average + d) / (self.count + 1)
+        self.average[:] = (self.count * self.average + d) / (self.count + 1)
         self.count += 1
-        # In-place copy: `current` is referenced by hot paths.
         self.current[:] = d
 
     def copy(self) -> "VmMonitor":

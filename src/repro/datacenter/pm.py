@@ -138,13 +138,22 @@ class PhysicalMachine:
 
     # -- SLAVO accounting ------------------------------------------------------------
 
-    def account_round(self, round_seconds: float) -> None:
-        """Accrue active/saturated time for this round (call while awake)."""
+    def account_round(
+        self, round_seconds: float, cpu_demand_mips: Optional[float] = None
+    ) -> None:
+        """Accrue active/saturated time for this round (call while awake).
+
+        ``cpu_demand_mips`` lets the caller pass the PM's already-computed
+        aggregate CPU demand (the :class:`DataCenter` derives it for all
+        PMs at once from the round's demand matrix); omitted, it is summed
+        from the hosted VMs.
+        """
         if round_seconds < 0:
             raise ValueError(f"round_seconds must be >= 0, got {round_seconds}")
         self.active_seconds += round_seconds
-        demand = sum(vm.cpu_demand_mips() for vm in self._vms.values())
-        if demand >= self.spec.cpu_mips:
+        if cpu_demand_mips is None:
+            cpu_demand_mips = sum(vm.cpu_demand_mips() for vm in self._vms.values())
+        if cpu_demand_mips >= self.spec.cpu_mips:
             self.saturated_seconds += round_seconds
 
     def __repr__(self) -> str:

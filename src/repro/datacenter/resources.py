@@ -59,10 +59,20 @@ class MachineSpec:
         check_positive(self.mem_mb, "mem_mb")
         if self.bandwidth_mbps < 0:
             raise ValueError(f"bandwidth_mbps must be >= 0, got {self.bandwidth_mbps}")
+        # The capacity vector is requested on every demand conversion —
+        # hundreds of thousands of times per run — so it is built once.
+        # Read-only, so accidental in-place mutation fails loudly instead
+        # of silently corrupting every machine sharing the spec.
+        cap = np.array([self.cpu_mips, self.mem_mb], dtype=np.float64)
+        cap.setflags(write=False)
+        object.__setattr__(self, "_capacity", cap)
 
     def capacity_vector(self) -> np.ndarray:
-        """Capacity as a length-``N_RESOURCES`` array [cpu_mips, mem_mb]."""
-        return np.array([self.cpu_mips, self.mem_mb], dtype=np.float64)
+        """Capacity as a length-``N_RESOURCES`` array [cpu_mips, mem_mb].
+
+        The returned array is shared and read-only; copy before mutating.
+        """
+        return self._capacity
 
     def fraction_of(self, other: "MachineSpec") -> np.ndarray:
         """This machine's capacity as a fraction of ``other``'s, per resource.

@@ -5,6 +5,10 @@
 * :mod:`~repro.experiments.runner` — builds a reproducible environment
   (trace + placement shared across policies per seed) and runs one
   policy through warmup + evaluation;
+* :mod:`~repro.experiments.parallel` — decomposes a sweep into
+  (scenario, policy, repetition) work units and executes them
+  sequentially or on a process pool (``jobs`` / ``$REPRO_JOBS``), with
+  bit-identical results either way;
 * :mod:`~repro.experiments.figures` / :mod:`~repro.experiments.tables`
   — drivers that regenerate every figure and table of section V.
 """
@@ -18,10 +22,19 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.runner import (
     POLICY_NAMES,
+    TraceCache,
     make_policy,
     build_environment,
+    build_simulation,
+    build_trace,
     run_policy,
     run_repetitions,
+)
+from repro.experiments.parallel import (
+    SweepResults,
+    SweepExecutionError,
+    resolve_jobs,
+    run_sweep,
 )
 from repro.experiments.figures import (
     figure5_convergence,
@@ -42,10 +55,17 @@ __all__ = [
     "PAPER_SIZES",
     "PAPER_RATIOS",
     "POLICY_NAMES",
+    "TraceCache",
     "make_policy",
     "build_environment",
+    "build_simulation",
+    "build_trace",
     "run_policy",
     "run_repetitions",
+    "SweepResults",
+    "SweepExecutionError",
+    "resolve_jobs",
+    "run_sweep",
     "figure5_convergence",
     "figure6_overload_fraction",
     "figure7_overloaded_pms",

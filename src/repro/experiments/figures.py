@@ -12,13 +12,16 @@ figure from it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.convergence import mean_pairwise_cosine
 from repro.core.glap import GlapPolicy
+# The sweep machinery lives in repro.experiments.parallel (work-unit
+# decomposition, process pool, trace cache); re-exported here because
+# the figure drivers are its main consumers and historical import site.
+from repro.experiments.parallel import SweepResults, run_sweep
 from repro.experiments.runner import (
     POLICY_NAMES,
     build_environment,
@@ -39,43 +42,6 @@ __all__ = [
     "figure9_cumulative_migrations",
     "figure10_energy_overhead",
 ]
-
-
-# ---------------------------------------------------------------------------
-# Shared sweep machinery
-# ---------------------------------------------------------------------------
-
-@dataclass
-class SweepResults:
-    """All repetitions of all (scenario, policy) combinations."""
-
-    runs: Dict[Tuple[str, str], List[RunResult]] = field(default_factory=dict)
-    scenarios: List[Scenario] = field(default_factory=list)
-    policies: Tuple[str, ...] = POLICY_NAMES
-
-    def of(self, scenario: Scenario, policy: str) -> List[RunResult]:
-        key = (scenario.label(), policy)
-        try:
-            return self.runs[key]
-        except KeyError:
-            raise KeyError(
-                f"sweep has no runs for {key}; available: {sorted(self.runs)}"
-            ) from None
-
-
-def run_sweep(
-    scenarios: Sequence[Scenario],
-    policies: Sequence[str] = POLICY_NAMES,
-    repetitions: Optional[int] = None,
-) -> SweepResults:
-    """Run every (scenario, policy) with the scenario's repetitions."""
-    out = SweepResults(scenarios=list(scenarios), policies=tuple(policies))
-    for scenario in scenarios:
-        for policy in policies:
-            out.runs[(scenario.label(), policy)] = run_repetitions(
-                scenario, policy, repetitions=repetitions
-            )
-    return out
 
 
 def _format_rows(header: Sequence[str], rows: Sequence[Sequence], title: str) -> str:

@@ -1,0 +1,198 @@
+"""Parallel sweep execution.
+
+The paper's evaluation grid is embarrassingly parallel: every
+(scenario, policy, repetition) cell is an independent, fully-seeded
+simulation.  This module decomposes a sweep into exactly those work
+units and runs them either in-process (``jobs=1``) or on a
+``ProcessPoolExecutor`` (``jobs>1``; ``jobs=0`` means one worker per
+CPU).  ``REPRO_JOBS`` sets the default when no ``jobs`` argument is
+given.
+
+Determinism: each unit derives all its randomness from
+``RngStreams(scenario.seed_of(rep))`` and results are merged by unit
+index, never by completion order — so a parallel sweep is bit-identical
+to the sequential one (the tier-1 parity test asserts it).
+
+Trace sharing: the four policies of a cell face the *same* (scenario,
+seed) workload by construction, so generating it four times is pure
+waste.  The sequential path iterates repetition-major with a shared
+:class:`~repro.experiments.runner.TraceCache`; each worker process keeps
+its own small cache, bounding regeneration at one per (cell, worker).
+
+Failures: a worker exception aborts the sweep with a
+:class:`SweepExecutionError` naming the failing (scenario, policy, seed)
+instead of hanging the pool; pending units are cancelled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    POLICY_NAMES,
+    TraceCache,
+    make_policy,
+    run_policy,
+)
+from repro.experiments.scenarios import Scenario
+from repro.metrics.report import RunResult
+
+__all__ = [
+    "SweepResults",
+    "SweepExecutionError",
+    "resolve_jobs",
+    "run_sweep",
+]
+
+#: Environment variable consulted when ``jobs`` is not given explicitly.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+@dataclass
+class SweepResults:
+    """All repetitions of all (scenario, policy) combinations."""
+
+    runs: Dict[Tuple[str, str], List[RunResult]] = field(default_factory=dict)
+    scenarios: List[Scenario] = field(default_factory=list)
+    policies: Tuple[str, ...] = POLICY_NAMES
+
+    def of(self, scenario: Scenario, policy: str) -> List[RunResult]:
+        key = (scenario.label(), policy)
+        try:
+            return self.runs[key]
+        except KeyError:
+            raise KeyError(
+                f"sweep has no runs for {key}; available: {sorted(self.runs)}"
+            ) from None
+
+
+class SweepExecutionError(RuntimeError):
+    """A sweep work unit failed; identifies the failing cell."""
+
+    def __init__(self, scenario_label: str, policy: str, seed: int) -> None:
+        self.scenario_label = scenario_label
+        self.policy = policy
+        self.seed = seed
+        super().__init__(
+            f"sweep unit failed: scenario={scenario_label} policy={policy} "
+            f"seed={seed} (see the chained exception for the cause)"
+        )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``jobs`` request to a concrete worker count.
+
+    ``None`` falls back to ``$REPRO_JOBS`` (and to 1 when that is unset);
+    ``0`` means one worker per CPU; negative values are rejected.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env is None or not env.strip():
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"${JOBS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-process trace cache: with fine-grained units there is no worker
+#: affinity, so each process memoizes the cells it happens to serve.
+_WORKER_TRACE_CACHE: Optional[TraceCache] = None
+
+
+def _run_unit(
+    scenario: Scenario,
+    policy_name: str,
+    seed: int,
+    policy_kwargs: Optional[dict],
+) -> RunResult:
+    """Execute one (scenario, policy, repetition) unit (pool target)."""
+    global _WORKER_TRACE_CACHE
+    if _WORKER_TRACE_CACHE is None:
+        _WORKER_TRACE_CACHE = TraceCache(maxsize=2)
+    trace = _WORKER_TRACE_CACHE.get(scenario, seed)
+    policy = make_policy(policy_name, **(policy_kwargs or {}))
+    return run_policy(scenario, policy, seed, trace=trace)
+
+
+# -- driver side -------------------------------------------------------------
+
+def _repetitions_of(scenario: Scenario, repetitions: Optional[int]) -> int:
+    reps = scenario.repetitions if repetitions is None else repetitions
+    if reps <= 0:
+        raise ValueError(f"repetitions must be > 0, got {reps}")
+    return reps
+
+
+def run_sweep(
+    scenarios: Sequence[Scenario],
+    policies: Sequence[str] = POLICY_NAMES,
+    repetitions: Optional[int] = None,
+    jobs: Optional[int] = None,
+    policy_kwargs: Optional[Dict[str, dict]] = None,
+) -> SweepResults:
+    """Run every (scenario, policy) with the scenario's repetitions.
+
+    ``jobs`` selects the execution backend (see :func:`resolve_jobs`);
+    ``policy_kwargs`` optionally maps a policy name to constructor
+    kwargs.  Results are identical for every ``jobs`` value.
+    """
+    jobs = resolve_jobs(jobs)
+    kwargs_of = policy_kwargs or {}
+    out = SweepResults(scenarios=list(scenarios), policies=tuple(policies))
+
+    units: List[Tuple[Scenario, str, int]] = []
+    for scenario in scenarios:
+        reps = _repetitions_of(scenario, repetitions)
+        for policy in policies:
+            out.runs[(scenario.label(), policy)] = [None] * reps  # type: ignore[list-item]
+        # Repetition-major so consecutive units share one trace.
+        for rep in range(reps):
+            for policy in policies:
+                units.append((scenario, policy, rep))
+
+    if jobs == 1:
+        cache = TraceCache(maxsize=2)
+        for scenario, policy, rep in units:
+            seed = scenario.seed_of(rep)
+            trace = cache.get(scenario, seed)
+            policy_obj = make_policy(policy, **kwargs_of.get(policy, {}))
+            out.runs[(scenario.label(), policy)][rep] = run_policy(
+                scenario, policy_obj, seed, trace=trace
+            )
+        return out
+
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures = {
+            pool.submit(
+                _run_unit, scenario, policy, scenario.seed_of(rep),
+                kwargs_of.get(policy),
+            ): (scenario, policy, rep)
+            for scenario, policy, rep in units
+        }
+        for fut in as_completed(futures):
+            scenario, policy, rep = futures[fut]
+            try:
+                result = fut.result()
+            except Exception as exc:
+                raise SweepExecutionError(
+                    scenario.label(), policy, scenario.seed_of(rep)
+                ) from exc
+            out.runs[(scenario.label(), policy)][rep] = result
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return out

@@ -16,6 +16,7 @@ Run structure::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -33,13 +34,18 @@ from repro.metrics.report import RunResult
 from repro.metrics.sla import slalm, slavo
 from repro.simulator.engine import Simulation
 from repro.simulator.node import Node
+from repro.traces.base import TraceSource
 from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
 from repro.util.rng import RngStreams
 
 __all__ = [
     "POLICY_NAMES",
     "make_policy",
+    "trace_fingerprint",
+    "build_trace",
+    "build_simulation",
     "build_environment",
+    "TraceCache",
     "run_policy",
     "run_repetitions",
 ]
@@ -61,22 +67,60 @@ def make_policy(name: str, **kwargs) -> ConsolidationPolicy:
     raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
 
 
-def build_environment(
-    scenario: Scenario, seed: int
-) -> Tuple[DataCenter, Simulation, RngStreams]:
-    """Construct (data centre, simulation, rng streams) for one run.
+def trace_fingerprint(scenario: Scenario, seed: int) -> Tuple:
+    """Everything the generated trace depends on — and nothing else.
 
-    Trace and placement depend only on (scenario, seed) — never on the
-    policy — so every policy faces the identical workload.
+    Two (scenario, seed) pairs with equal fingerprints get bit-identical
+    traces, which is what makes sharing one trace across the four
+    policies of a sweep cell sound.
     """
-    streams = RngStreams(seed)
+    params = scenario.trace_params
+    return (
+        scenario.n_vms,
+        scenario.total_rounds,
+        params if params is not None else GoogleTraceParams(),
+        seed,
+    )
+
+
+def build_trace(scenario: Scenario, seed: int) -> TraceSource:
+    """Generate the (scenario, seed) workload trace.
+
+    Drawn from the seed's named ``"trace"`` stream, so the result is
+    identical whether the trace is built here or inside
+    :func:`build_simulation` — named streams are independent.
+    """
     params = scenario.trace_params
     generator = (
         GoogleLikeTraceGenerator(params) if params is not None else GoogleLikeTraceGenerator()
     )
-    trace = generator.generate(
-        scenario.n_vms, scenario.total_rounds, streams.get("trace")
+    return generator.generate(
+        scenario.n_vms, scenario.total_rounds, RngStreams(seed).get("trace")
     )
+
+
+def build_simulation(
+    scenario: Scenario, seed: int, trace: Optional[TraceSource] = None
+) -> Tuple[DataCenter, Simulation, RngStreams]:
+    """Construct (data centre, simulation, rng streams) for one run.
+
+    Trace and placement depend only on (scenario, seed) — never on the
+    policy — so every policy faces the identical workload.  A pre-built
+    ``trace`` (from :func:`build_trace` / :class:`TraceCache`) is used
+    verbatim, skipping the redundant regeneration; the placement and
+    engine streams are unaffected either way.
+    """
+    streams = RngStreams(seed)
+    if trace is None:
+        params = scenario.trace_params
+        generator = (
+            GoogleLikeTraceGenerator(params)
+            if params is not None
+            else GoogleLikeTraceGenerator()
+        )
+        trace = generator.generate(
+            scenario.n_vms, scenario.total_rounds, streams.get("trace")
+        )
     dc = DataCenter(
         scenario.n_pms,
         scenario.n_vms,
@@ -89,19 +133,65 @@ def build_environment(
     return dc, sim, streams
 
 
+def build_environment(
+    scenario: Scenario, seed: int
+) -> Tuple[DataCenter, Simulation, RngStreams]:
+    """Back-compat alias for :func:`build_simulation` without a trace."""
+    return build_simulation(scenario, seed)
+
+
+class TraceCache:
+    """A bounded LRU of generated traces keyed by :func:`trace_fingerprint`.
+
+    The sweep drivers request the same (scenario, seed) trace once per
+    policy; caching it turns the 4x-redundant generation into one.  The
+    cache is deliberately small — paper-scale traces run to hundreds of
+    MB — and sweeps iterate repetition-major so one slot is usually
+    enough.
+    """
+
+    def __init__(self, maxsize: int = 2) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be > 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, TraceSource]" = OrderedDict()
+
+    def get(self, scenario: Scenario, seed: int) -> TraceSource:
+        key = trace_fingerprint(scenario, seed)
+        trace = self._entries.get(key)
+        if trace is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return trace
+        self.misses += 1
+        trace = build_trace(scenario, seed)
+        self._entries[key] = trace
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 def run_policy(
     scenario: Scenario,
     policy: ConsolidationPolicy,
     seed: int,
     round_hook: Optional[Callable[[int, DataCenter, Simulation], None]] = None,
+    trace: Optional[TraceSource] = None,
 ) -> RunResult:
     """Run one policy through warmup + evaluation; returns the result.
 
     ``round_hook(eval_round_index, dc, sim)`` is called after each
     evaluation round — used by the figure drivers to sample extra state
-    (e.g. Q-value similarity).
+    (e.g. Q-value similarity).  ``trace`` short-circuits workload
+    generation (see :func:`build_simulation`); results are identical
+    with or without it.
     """
-    dc, sim, streams = build_environment(scenario, seed)
+    dc, sim, streams = build_simulation(scenario, seed, trace=trace)
     policy.attach(dc, sim, streams, scenario.warmup_rounds)
 
     for _ in range(scenario.warmup_rounds):
@@ -121,6 +211,7 @@ def run_policy(
         if round_hook is not None:
             round_hook(r, dc, sim)
 
+    sim.finish()  # exactly one on_simulation_end per logical run
     result = RunResult(
         policy=policy.name,
         n_pms=scenario.n_pms,
@@ -149,11 +240,14 @@ def run_repetitions(
     policy_name: str,
     repetitions: Optional[int] = None,
     policy_kwargs: Optional[Dict] = None,
+    trace_cache: Optional[TraceCache] = None,
 ) -> List[RunResult]:
     """Run ``repetitions`` independent seeds of one policy.
 
     A *fresh* policy instance is created per repetition — policies carry
-    learned state and must not leak across runs.
+    learned state and must not leak across runs.  Passing a shared
+    ``trace_cache`` lets several calls (one per policy) reuse each
+    (scenario, seed) trace instead of regenerating it.
     """
     reps = scenario.repetitions if repetitions is None else repetitions
     if reps <= 0:
@@ -161,6 +255,8 @@ def run_repetitions(
     kwargs = policy_kwargs or {}
     results = []
     for rep in range(reps):
+        seed = scenario.seed_of(rep)
+        trace = trace_cache.get(scenario, seed) if trace_cache is not None else None
         policy = make_policy(policy_name, **kwargs)
-        results.append(run_policy(scenario, policy, scenario.seed_of(rep)))
+        results.append(run_policy(scenario, policy, seed, trace=trace))
     return results

@@ -27,8 +27,12 @@ def datacenter_power_w(
 ) -> float:
     """Instantaneous power of all awake PMs (sleeping PMs draw ~0)."""
     model = power_model if power_model is not None else LinearPowerModel()
+    # Vectorised P(u) = P_idle + (P_max - P_idle) * u over awake PMs;
+    # dc.cpu_utilizations() already caps u at 1.
+    u = dc.cpu_utilizations()[dc.awake_mask()]
     return float(
-        sum(model.power(pm.cpu_utilization()) for pm in dc.pms if not pm.asleep)
+        model.idle_watts * u.size
+        + (model.max_watts - model.idle_watts) * u.sum()
     )
 
 

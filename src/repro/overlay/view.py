@@ -16,7 +16,7 @@ import numpy as np
 __all__ = ["ViewEntry", "PartialView"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ViewEntry:
     """A neighbour descriptor: node id plus gossip age."""
 

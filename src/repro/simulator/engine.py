@@ -70,6 +70,7 @@ class Simulation:
         self._protocol_order = list(protocol_order) if protocol_order else None
         self._observers: List[Observer] = []
         self.round_index: int = 0
+        self._finished = False
 
     # -- population access --------------------------------------------------
 
@@ -132,15 +133,41 @@ class Simulation:
             observer.observe(self.round_index, self)
         self.round_index += 1
 
-    def run(self, rounds: int) -> None:
-        """Execute ``rounds`` additional rounds."""
+    def run(self, rounds: int, *, finish: bool = True) -> None:
+        """Execute ``rounds`` additional rounds.
+
+        ``finish=True`` (the default) marks the logical run as complete
+        afterwards, firing each observer's ``on_simulation_end`` exactly
+        once per :class:`Simulation` (see :meth:`finish`).  Callers that
+        run in chunks — warmup then evaluation, or round-by-round via
+        :meth:`run_round` — pass ``finish=False`` for the intermediate
+        chunks and call :meth:`finish` when the whole run is over.
+        """
         if rounds < 0:
             raise ValueError(f"rounds must be >= 0, got {rounds}")
         for _ in range(rounds):
             self.run_round()
-        if rounds > 0:
-            for observer in self._observers:
-                observer.on_simulation_end(self)
+        if finish and rounds > 0:
+            self.finish()
+
+    def finish(self) -> None:
+        """Declare the logical run complete.
+
+        Fires every observer's ``on_simulation_end`` hook; idempotent, so
+        however the run was driven (one ``run`` call, several chunks, or
+        ``run_round`` in a loop) observers see exactly one end-of-
+        simulation callback.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        for observer in self._observers:
+            observer.on_simulation_end(self)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
 
     # -- convenience -----------------------------------------------------------
 

@@ -1,0 +1,197 @@
+"""Tests for repro.experiments.parallel — work units, pool, determinism.
+
+The load-bearing guarantee: ``run_sweep(..., jobs=N)`` is bit-identical
+to the sequential sweep for every N, so the parallel backend can never
+change a paper number.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.glap import GlapConfig
+from repro.experiments.parallel import (
+    JOBS_ENV_VAR,
+    SweepExecutionError,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.experiments.runner import TraceCache, run_repetitions
+from repro.experiments.scenarios import Scenario
+from repro.metrics.collector import MetricsCollector
+from repro.traces.google import GoogleTraceParams
+
+SMALL = Scenario(
+    n_pms=12,
+    ratio=2,
+    rounds=10,
+    warmup_rounds=8,
+    repetitions=2,
+    trace_params=GoogleTraceParams(rounds_per_day=10),
+)
+
+#: Policies cheap enough for a parity grid (GLAP's default config needs
+#: warmup > 30 rounds; it gets its own small-config coverage below).
+FAST_POLICIES = ("EcoCloud", "GRMP")
+
+GLAP_KWARGS = {"GLAP": {"config": GlapConfig(aggregation_rounds=4)}}
+
+
+def assert_sweeps_identical(a, b):
+    assert a.runs.keys() == b.runs.keys()
+    for key in a.runs:
+        for ra, rb in zip(a.runs[key], b.runs[key]):
+            assert ra.seed == rb.seed
+            assert ra.slavo == rb.slavo
+            assert ra.slalm == rb.slalm
+            assert ra.total_migrations == rb.total_migrations
+            assert ra.migration_energy_j == rb.migration_energy_j
+            for name in MetricsCollector.SERIES:
+                np.testing.assert_array_equal(
+                    ra.series[name], rb.series[name]
+                )
+
+
+class TestResolveJobs:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_var_used_when_unspecified(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_jobs(-1)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match=JOBS_ENV_VAR):
+            resolve_jobs(None)
+
+    def test_blank_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "  ")
+        assert resolve_jobs(None) == 1
+
+
+class TestTraceCache:
+    def test_hit_returns_same_object(self):
+        cache = TraceCache()
+        a = cache.get(SMALL, 7)
+        b = cache.get(SMALL, 7)
+        assert a is b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_seeds_distinct_traces(self):
+        cache = TraceCache()
+        assert cache.get(SMALL, 7) is not cache.get(SMALL, 8)
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = TraceCache(maxsize=1)
+        a = cache.get(SMALL, 7)
+        cache.get(SMALL, 8)  # evicts seed 7
+        assert len(cache) == 1
+        assert cache.get(SMALL, 7) is not a  # regenerated
+        assert cache.misses == 3
+
+    def test_cached_trace_is_bit_identical_to_fresh(self):
+        cache = TraceCache()
+        fresh = cache.get(SMALL, 7)
+        from repro.experiments.runner import build_trace
+
+        np.testing.assert_array_equal(
+            fresh.demands_at(3), build_trace(SMALL, 7).demands_at(3)
+        )
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCache(maxsize=0)
+
+
+class TestSequentialSweep:
+    def test_matches_run_repetitions(self):
+        # The unit decomposition must not change what each cell computes.
+        sweep = run_sweep([SMALL], policies=FAST_POLICIES, jobs=1)
+        for policy in FAST_POLICIES:
+            direct = run_repetitions(SMALL, policy)
+            for swept, ref in zip(sweep.of(SMALL, policy), direct):
+                assert swept.seed == ref.seed
+                assert swept.slavo == ref.slavo
+                assert swept.total_migrations == ref.total_migrations
+                np.testing.assert_array_equal(
+                    swept.series["active"], ref.series["active"]
+                )
+
+    def test_all_cells_filled_in_order(self):
+        sweep = run_sweep([SMALL], policies=FAST_POLICIES, jobs=1)
+        for policy in FAST_POLICIES:
+            runs = sweep.of(SMALL, policy)
+            assert len(runs) == SMALL.repetitions
+            assert [r.seed for r in runs] == [
+                SMALL.seed_of(rep) for rep in range(SMALL.repetitions)
+            ]
+
+    def test_policy_kwargs_reach_the_policy(self):
+        sweep = run_sweep(
+            [SMALL], policies=("GLAP",), repetitions=1,
+            policy_kwargs=GLAP_KWARGS, jobs=1,
+        )
+        assert len(sweep.of(SMALL, "GLAP")) == 1
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            run_sweep([SMALL], policies=FAST_POLICIES, repetitions=0, jobs=1)
+
+
+class TestParallelParity:
+    """jobs=2 must be bit-identical to jobs=1 — the tier-1 guarantee."""
+
+    def test_pool_matches_sequential(self):
+        seq = run_sweep(
+            [SMALL], policies=("GLAP",) + FAST_POLICIES,
+            policy_kwargs=GLAP_KWARGS, jobs=1,
+        )
+        par = run_sweep(
+            [SMALL], policies=("GLAP",) + FAST_POLICIES,
+            policy_kwargs=GLAP_KWARGS, jobs=2,
+        )
+        assert_sweeps_identical(seq, par)
+
+    def test_env_var_drives_pool(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        par = run_sweep([SMALL], policies=FAST_POLICIES, repetitions=1)
+        seq = run_sweep([SMALL], policies=FAST_POLICIES, repetitions=1, jobs=1)
+        assert_sweeps_identical(seq, par)
+
+
+class TestFailurePropagation:
+    def test_worker_exception_identifies_unit(self):
+        # A bogus constructor kwarg makes exactly one policy's units fail.
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_sweep(
+                [SMALL], policies=FAST_POLICIES, repetitions=1, jobs=2,
+                policy_kwargs={"GRMP": {"bogus_option": 1}},
+            )
+        err = excinfo.value
+        assert err.policy == "GRMP"
+        assert err.scenario_label == SMALL.label()
+        assert err.seed == SMALL.seed_of(0)
+        assert "GRMP" in str(err) and SMALL.label() in str(err)
+        assert err.__cause__ is not None
+
+    def test_sequential_failure_raises_plainly(self):
+        with pytest.raises(TypeError):
+            run_sweep(
+                [SMALL], policies=("GRMP",), repetitions=1, jobs=1,
+                policy_kwargs={"GRMP": {"bogus_option": 1}},
+            )

@@ -5,10 +5,14 @@ import pytest
 
 from repro.experiments.runner import (
     POLICY_NAMES,
+    TraceCache,
     build_environment,
+    build_simulation,
+    build_trace,
     make_policy,
     run_policy,
     run_repetitions,
+    trace_fingerprint,
 )
 from repro.experiments.scenarios import Scenario
 from repro.traces.google import GoogleTraceParams
@@ -70,6 +74,56 @@ class TestBuildEnvironment:
         dc, sim, _ = build_environment(SMALL, 1)
         assert dc.n_pms == 12 and dc.n_vms == 24
         assert len(sim.nodes) == 12
+
+
+class TestTraceSplit:
+    """build_trace + build_simulation(trace=...) == build_environment.
+
+    This equivalence is what makes sharing one trace across the four
+    policies of a sweep cell (and across worker processes) sound.
+    """
+
+    def test_prebuilt_trace_is_identical(self):
+        trace = build_trace(SMALL, 7)
+        dc_whole, _, _ = build_environment(SMALL, 7)
+        np.testing.assert_array_equal(
+            trace.demands_at(4), dc_whole.trace.demands_at(4)
+        )
+
+    def test_placement_unaffected_by_prebuilt_trace(self):
+        # Named rng streams are independent: consuming (or skipping) the
+        # "trace" stream must not shift the "placement" stream.
+        dc_split, _, _ = build_simulation(SMALL, 7, trace=build_trace(SMALL, 7))
+        dc_whole, _, _ = build_environment(SMALL, 7)
+        np.testing.assert_array_equal(dc_split.placement(), dc_whole.placement())
+
+    def test_run_policy_with_shared_trace_is_identical(self):
+        trace = build_trace(SMALL, 5)
+        with_trace = run_policy(SMALL, make_policy("GRMP"), seed=5, trace=trace)
+        without = run_policy(SMALL, make_policy("GRMP"), seed=5)
+        assert with_trace.slavo == without.slavo
+        assert with_trace.total_migrations == without.total_migrations
+        np.testing.assert_array_equal(
+            with_trace.series["active"], without.series["active"]
+        )
+
+    def test_fingerprint_distinguishes_seed_and_shape(self):
+        from dataclasses import replace
+
+        assert trace_fingerprint(SMALL, 1) == trace_fingerprint(SMALL, 1)
+        assert trace_fingerprint(SMALL, 1) != trace_fingerprint(SMALL, 2)
+        assert trace_fingerprint(SMALL, 1) != trace_fingerprint(
+            replace(SMALL, ratio=3), 1
+        )
+
+    def test_run_repetitions_with_cache_matches_without(self):
+        cache = TraceCache()
+        cached = run_repetitions(SMALL, "GRMP", trace_cache=cache)
+        plain = run_repetitions(SMALL, "GRMP")
+        assert cache.misses == SMALL.repetitions
+        for a, b in zip(cached, plain):
+            assert a.slavo == b.slavo
+            assert a.total_migrations == b.total_migrations
 
 
 class TestRunPolicy:

@@ -186,6 +186,64 @@ class TestObservers:
             CallbackObserver("not callable")
 
 
+class TestFinish:
+    """Exactly one on_simulation_end per logical run, however driven."""
+
+    class EndCounter:
+        def __init__(self):
+            self.ends = 0
+
+        def observe(self, r, s):
+            pass
+
+        def on_simulation_end(self, s):
+            self.ends += 1
+
+    def _sim_with_counter(self):
+        sim, _ = build()
+        obs = self.EndCounter()
+        sim.add_observer(obs)
+        return sim, obs
+
+    def test_run_fires_end_once(self):
+        sim, obs = self._sim_with_counter()
+        sim.run(3)
+        assert obs.ends == 1
+        assert sim.finished
+
+    def test_zero_rounds_does_not_end(self):
+        sim, obs = self._sim_with_counter()
+        sim.run(0)
+        assert obs.ends == 0
+        assert not sim.finished
+
+    def test_finish_is_idempotent(self):
+        sim, obs = self._sim_with_counter()
+        sim.run(2)
+        sim.finish()
+        sim.finish()
+        assert obs.ends == 1
+
+    def test_chunked_run_ends_once(self):
+        # Warmup + evaluation driven as two chunks: the intermediate
+        # chunk must not fire the end-of-simulation callback.
+        sim, obs = self._sim_with_counter()
+        sim.run(2, finish=False)
+        assert obs.ends == 0 and not sim.finished
+        sim.run(3, finish=False)
+        assert obs.ends == 0
+        sim.finish()
+        assert obs.ends == 1 and sim.finished
+
+    def test_run_round_loop_then_finish(self):
+        sim, obs = self._sim_with_counter()
+        for _ in range(4):
+            sim.run_round()
+        assert obs.ends == 0
+        sim.finish()
+        assert obs.ends == 1
+
+
 class TestWake:
     def test_wake_fires_hook(self):
         sim, proto = build(n=2)

@@ -24,6 +24,14 @@ class TestParser:
         args = build_parser().parse_args(["figures", "--figure", "table1"])
         assert args.figure == "table1"
 
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["sweep", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs is None  # falls back to $REPRO_JOBS / 1
+        args = build_parser().parse_args(["figures", "--figure", "6", "--jobs", "2"])
+        assert args.jobs == 2
+
 
 class TestFiguresCommand:
     def test_figure5_path(self, capsys):
@@ -95,3 +103,13 @@ class TestSweepCommand:
         assert rc == 0
         text = capsys.readouterr().out
         assert "Figure 7" in text and "Paper-shape report" in text
+
+    def test_parallel_sweep_smoke(self, capsys):
+        # The process-pool backend end to end through the CLI.
+        rc = main(
+            ["sweep", "--sizes", "10", "--ratios", "2", "--rounds", "6",
+             "--warmup", "35", "--reps", "1", "--jobs", "2"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Figure 6" in text and "Table I" in text
