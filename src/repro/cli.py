@@ -6,6 +6,7 @@
     glap compare --pms 60 --ratio 3 --reps 2             # all policies
     glap sweep --out results.json                        # scaled grid
     glap sweep --jobs 4                                  # ... on 4 workers
+    glap chaos --loss 0.0 0.3 --churn 0.005              # fault-injection grid
     glap figures --figure 6                              # regenerate a figure
     glap trace --vms 100 --rounds 180 --out trace.csv    # export a trace
 
@@ -35,7 +36,7 @@ from repro.experiments.figures import (
     run_sweep,
 )
 from repro.experiments.runner import POLICY_NAMES, make_policy, run_policy
-from repro.experiments.scenarios import Scenario, scaled_grid
+from repro.experiments.scenarios import Scenario, chaos_variants, scaled_grid
 from repro.experiments.tables import format_table1, table1_sla
 from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
 
@@ -82,6 +83,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--reps", type=int, default=2)
     p_sweep.add_argument("--out", type=str, default=None, help="JSON output path")
     add_jobs_arg(p_sweep)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: message loss / churn / partition grids "
+        "with per-round invariant checking",
+    )
+    add_scenario_args(p_chaos)
+    p_chaos.add_argument("--reps", type=int, default=1, help="repetitions")
+    p_chaos.add_argument(
+        "--loss",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.3],
+        help="message-loss levels, one sweep per level",
+    )
+    p_chaos.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="per-node per-round crash probability (crashed nodes restart "
+        "after --churn-downtime rounds)",
+    )
+    p_chaos.add_argument("--churn-downtime", type=int, default=5,
+                         help="rounds a churned node stays down")
+    p_chaos.add_argument(
+        "--partition-rounds",
+        type=int,
+        nargs=2,
+        metavar=("START", "END"),
+        default=None,
+        help="partition the network over [START, END) simulation rounds",
+    )
+    p_chaos.add_argument("--partition-groups", type=int, default=2,
+                         help="number of partition groups")
+    p_chaos.add_argument(
+        "--policies", nargs="+", choices=POLICY_NAMES, default=list(POLICY_NAMES)
+    )
+    p_chaos.add_argument("--out", type=str, default=None, help="JSON output path")
+    add_jobs_arg(p_chaos)
 
     p_fig = sub.add_parser("figures", help="regenerate one paper figure/table")
     p_fig.add_argument(
@@ -171,6 +211,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    scenario = _scenario_from_args(args, reps=args.reps)
+    variants = chaos_variants(
+        scenario,
+        loss_levels=tuple(args.loss),
+        churn_probability=args.churn,
+        churn_downtime_rounds=args.churn_downtime,
+        partition_window=(
+            tuple(args.partition_rounds) if args.partition_rounds else None
+        ),
+        partition_groups=args.partition_groups,
+    )
+    policies = tuple(args.policies)
+    header = (
+        f"{'faults':28s} {'policy':9s} {'SLAV':>10s} {'migrations':>11s} "
+        f"{'active':>7s} {'dropped%':>9s} {'crashes':>8s} {'inv.rounds':>10s}"
+    )
+    print("Chaos sweep — medians over repetitions; invariants checked every round")
+    print(header)
+    print("-" * len(header))
+    archive = []
+    for label, chaos_scenario in variants:
+        results = run_sweep([chaos_scenario], policies=policies, jobs=args.jobs)
+        for policy in policies:
+            runs = results.of(chaos_scenario, policy)
+            sent = sum(r.extras.get("messages_sent", 0.0) for r in runs)
+            dropped = sum(r.extras.get("messages_dropped", 0.0) for r in runs)
+            drop_pct = 100.0 * dropped / sent if sent else 0.0
+            print(
+                f"{label:28s} {policy:9s} "
+                f"{float(np.median([r.slav for r in runs])):10.3e} "
+                f"{float(np.median([r.total_migrations for r in runs])):11.0f} "
+                f"{float(np.median([r.final_active for r in runs])):7.0f} "
+                f"{drop_pct:9.1f} "
+                f"{sum(r.extras.get('fault_crashes', 0.0) for r in runs):8.0f} "
+                f"{sum(r.extras.get('invariant_rounds_checked', 0.0) for r in runs):10.0f}"
+            )
+            for r in runs:
+                archive.append(
+                    {
+                        "faults": label,
+                        "policy": policy,
+                        "seed": r.seed,
+                        "slavo": r.slavo,
+                        "slalm": r.slalm,
+                        "slav": r.slav,
+                        "total_migrations": r.total_migrations,
+                        "migration_energy_j": r.migration_energy_j,
+                        "dc_energy_j": r.dc_energy_j,
+                        "final_active": r.final_active,
+                        "final_overloaded": r.final_overloaded,
+                        "extras": dict(r.extras),
+                    }
+                )
+    print(
+        "\nall runs completed with every per-round invariant intact "
+        "(violations raise and abort the sweep)"
+    )
+    if args.out:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.out).write_text(_json.dumps({"format": 1, "runs": archive}))
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     scenario = Scenario(
         n_pms=args.pms,
@@ -253,6 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "chaos": _cmd_chaos,
         "figures": _cmd_figures,
         "report": _cmd_report,
         "trace": _cmd_trace,

@@ -29,11 +29,14 @@ from repro.baselines.pabfd import PabfdPolicy
 from repro.core.glap import GlapConfig, GlapPolicy
 from repro.datacenter.cluster import DataCenter
 from repro.experiments.scenarios import Scenario
+from repro.faults.controller import FaultController
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import RunResult
 from repro.metrics.sla import slalm, slavo
 from repro.simulator.engine import Simulation
 from repro.simulator.node import Node
+from repro.simulator.observer import InvariantObserver
 from repro.traces.base import TraceSource
 from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
 from repro.util.rng import RngStreams
@@ -182,6 +185,8 @@ def run_policy(
     seed: int,
     round_hook: Optional[Callable[[int, DataCenter, Simulation], None]] = None,
     trace: Optional[TraceSource] = None,
+    faults: Optional[FaultPlan] = None,
+    check_invariants: Optional[bool] = None,
 ) -> RunResult:
     """Run one policy through warmup + evaluation; returns the result.
 
@@ -190,12 +195,35 @@ def run_policy(
     (e.g. Q-value similarity).  ``trace`` short-circuits workload
     generation (see :func:`build_simulation`); results are identical
     with or without it.
+
+    ``faults`` (default: ``scenario.faults``) routes the run through a
+    :class:`FaultController` drawing only from the ``"faults"`` stream;
+    a zero-fault plan is bit-identical to passing no plan at all.
+    ``check_invariants`` (default: ``scenario.check_invariants``)
+    attaches an :class:`InvariantObserver` that re-verifies the
+    conservation laws at the end of every round, warmup included.
     """
     dc, sim, streams = build_simulation(scenario, seed, trace=trace)
+
+    plan = faults if faults is not None else scenario.faults
+    controller: Optional[FaultController] = None
+    if plan is not None:
+        controller = FaultController(plan, streams.get("faults")).install(dc, sim)
+
+    invariants = (
+        scenario.check_invariants if check_invariants is None else check_invariants
+    )
+    observer: Optional[InvariantObserver] = None
+    if invariants:
+        observer = InvariantObserver(dc)
+        sim.add_observer(observer)
+
     policy.attach(dc, sim, streams, scenario.warmup_rounds)
 
     for _ in range(scenario.warmup_rounds):
         dc.advance_round()
+        if controller is not None:
+            controller.before_round(dc, sim)
         sim.run_round()
         policy.step(dc, sim)
 
@@ -205,6 +233,8 @@ def run_policy(
     collector = MetricsCollector(dc)
     for r in range(scenario.rounds):
         dc.advance_round()
+        if controller is not None:
+            controller.before_round(dc, sim)
         sim.run_round()
         policy.step(dc, sim)
         collector.sample()
@@ -232,6 +262,17 @@ def run_policy(
     result.dc_energy_j = float(
         collector.get("dc_power").sum() * scenario.round_seconds
     )
+    # Chaos diagnostics live in ``extras`` so the metric fields proper
+    # stay bit-identical between a zero-fault and a plain run.
+    if controller is not None:
+        result.extras.update(controller.stats_dict())
+        result.extras["messages_dropped"] = float(sim.network.stats.messages_dropped)
+        result.extras["messages_sent"] = float(sim.network.stats.messages_sent)
+        result.extras["final_failed_nodes"] = float(
+            sum(1 for n in sim.nodes if n.is_failed)
+        )
+    if observer is not None:
+        result.extras["invariant_rounds_checked"] = float(observer.rounds_checked)
     return result
 
 

@@ -13,12 +13,20 @@ which scale produced the reported numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.traces.google import GoogleTraceParams
 from repro.util.validation import check_positive
 
-__all__ = ["Scenario", "paper_grid", "scaled_grid", "PAPER_SIZES", "PAPER_RATIOS"]
+__all__ = [
+    "Scenario",
+    "paper_grid",
+    "scaled_grid",
+    "chaos_variants",
+    "PAPER_SIZES",
+    "PAPER_RATIOS",
+]
 
 PAPER_SIZES: Tuple[int, ...] = (500, 1000, 2000)
 PAPER_RATIOS: Tuple[int, ...] = (2, 3, 4)
@@ -36,6 +44,14 @@ class Scenario:
     repetitions: int = 20
     base_seed: int = 2016  # the venue year; any constant works
     trace_params: Optional[GoogleTraceParams] = None
+    #: Fault schedule injected by the runner (None and a zero-fault plan
+    #: are bit-identical — the chaos identity contract).  Faults never
+    #: affect the generated trace or the initial placement, so faulted
+    #: and clean variants of one scenario share cached traces.
+    faults: Optional[FaultPlan] = None
+    #: Attach an InvariantObserver that re-checks the data-centre
+    #: conservation laws at the end of every round (warmup included).
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         check_positive(self.n_pms, "n_pms")
@@ -67,6 +83,13 @@ class Scenario:
         """A proportionally smaller scenario (same ratio and shape)."""
         check_positive(factor, "factor")
         return replace(self, n_pms=max(10, int(self.n_pms * factor)))
+
+    def with_faults(
+        self, plan: Optional[FaultPlan], *, check_invariants: bool = True
+    ) -> "Scenario":
+        """This scenario under a fault schedule (invariants on by default —
+        a chaos run without its safety net proves nothing)."""
+        return replace(self, faults=plan, check_invariants=check_invariants)
 
 
 def paper_grid(**overrides) -> List[Scenario]:
@@ -110,3 +133,47 @@ def scaled_grid(
         for size in sizes
         for ratio in ratios
     ]
+
+
+def chaos_variants(
+    scenario: Scenario,
+    loss_levels: Sequence[float] = (0.0, 0.1, 0.3),
+    churn_probability: float = 0.0,
+    churn_downtime_rounds: int = 5,
+    partition_window: Optional[Tuple[int, int]] = None,
+    partition_groups: int = 2,
+) -> List[Tuple[str, Scenario]]:
+    """One (label, scenario) pair per fault level of a chaos sweep.
+
+    Each variant layers the requested message-loss level, background
+    churn and (optionally) a round-windowed partition onto ``scenario``
+    with invariant checking enabled.  The partition splits node ids
+    ``0..n_pms-1`` into ``partition_groups`` contiguous slices over the
+    ``partition_window`` rounds (simulation rounds, warmup included).
+
+    Variants are separate scenarios — run each through its own
+    ``run_sweep`` call; their shared (scenario, seed) traces are reused
+    via the trace cache because fault plans never enter the trace
+    fingerprint.
+    """
+    variants: List[Tuple[str, Scenario]] = []
+    for loss in loss_levels:
+        plan = FaultPlan.message_loss(loss) if loss > 0.0 else FaultPlan.none()
+        if churn_probability > 0.0:
+            plan = plan.merged(
+                FaultPlan.churn(
+                    churn_probability, downtime_rounds=churn_downtime_rounds
+                )
+            )
+        if partition_window is not None:
+            start, end = partition_window
+            step = max(1, scenario.n_pms // max(1, partition_groups))
+            groups = [
+                range(g * step, min((g + 1) * step, scenario.n_pms))
+                for g in range(partition_groups)
+            ]
+            plan = plan.merged(
+                FaultPlan.partition(groups, start_round=start, end_round=end)
+            )
+        variants.append((plan.describe(), scenario.with_faults(plan)))
+    return variants

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for chaos experiments.
+
+The paper's robustness story — gossip redundancy lets consolidation
+degrade gracefully under message loss and node churn — deserves
+first-class, replayable machinery rather than test-file hacks:
+
+* :class:`~repro.faults.plan.FaultPlan` declares *what* goes wrong and
+  *when* (loss phases, partitions, crash/restart schedules, churn);
+* :class:`~repro.faults.controller.FaultController` applies a plan to a
+  running simulation through public APIs only, drawing every random
+  decision from the dedicated ``"faults"`` RNG stream so a chaos run is
+  reproducible from its root seed;
+* the :class:`~repro.simulator.observer.InvariantObserver` (wired in by
+  the experiment runner) verifies the conservation laws every round.
+
+The identity contract: a zero-fault plan routed through the full chaos
+machinery is bit-identical to a plain run — asserted by the test suite.
+"""
+
+from repro.faults.controller import FaultController
+from repro.faults.plan import CrashEvent, FaultPhase, FaultPlan, RestartEvent
+
+__all__ = [
+    "CrashEvent",
+    "RestartEvent",
+    "FaultPhase",
+    "FaultPlan",
+    "FaultController",
+]

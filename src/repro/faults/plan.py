@@ -1,0 +1,284 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a frozen, hashable value object — it can sit
+inside a :class:`~repro.experiments.scenarios.Scenario`, travel to
+worker processes of a parallel sweep, and key result tables — that
+describes every fault the :class:`~repro.faults.controller.FaultController`
+will inject:
+
+* **phases** — round-windowed network conditions (loss probability,
+  per-kind loss, partition groups).  At most one phase is in force per
+  round; when windows overlap, the *last* matching phase wins, so a
+  narrow "storm" phase can be layered over a broad baseline phase.
+* **crashes / restarts** — explicit per-round node schedules, applied
+  through ``Node.fail`` and the engine's ``wake(recover=True)``.
+* **churn** — memoryless crash/restart background noise: each round
+  every UP node crashes with ``churn_probability`` and each crashed-by-
+  churn node restarts after ``churn_downtime_rounds`` rounds.
+
+Round indices count *simulation* rounds from attach (warmup included):
+round ``r`` faults are applied immediately before the engine executes
+round ``r``.  All collections are normalised to sorted tuples so equal
+plans compare and hash equal regardless of construction order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.util.validation import check_probability
+
+__all__ = ["CrashEvent", "RestartEvent", "FaultPhase", "FaultPlan"]
+
+
+def _int_tuple(values: Iterable[int], label: str) -> Tuple[int, ...]:
+    out = tuple(sorted(int(v) for v in values))
+    if any(v < 0 for v in out):
+        raise ValueError(f"{label} must be non-negative node ids, got {out}")
+    if len(set(out)) != len(out):
+        raise ValueError(f"{label} contains duplicates: {out}")
+    return out
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash ``node_ids`` just before round ``round_index`` executes."""
+
+    round_index: int
+    node_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {self.round_index}")
+        object.__setattr__(self, "node_ids", _int_tuple(self.node_ids, "node_ids"))
+
+
+@dataclass(frozen=True)
+class RestartEvent:
+    """Restart previously crashed ``node_ids`` before round ``round_index``."""
+
+    round_index: int
+    node_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {self.round_index}")
+        object.__setattr__(self, "node_ids", _int_tuple(self.node_ids, "node_ids"))
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """Network conditions over the round window ``[start_round, end_round)``.
+
+    ``end_round=None`` leaves the phase open-ended.  ``partition`` is a
+    tuple of disjoint node-id groups (see ``Network.set_partition``);
+    the empty tuple means no partition during the phase.
+    """
+
+    start_round: int = 0
+    end_round: Optional[int] = None
+    loss: float = 0.0
+    loss_per_kind: Tuple[Tuple[str, float], ...] = ()
+    partition: Tuple[Tuple[int, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start_round < 0:
+            raise ValueError(f"start_round must be >= 0, got {self.start_round}")
+        if self.end_round is not None and self.end_round <= self.start_round:
+            raise ValueError(
+                f"end_round must be > start_round, got "
+                f"[{self.start_round}, {self.end_round})"
+            )
+        check_probability(self.loss, "loss")
+        per_kind: Union[Mapping[str, float], Iterable[Tuple[str, float]]]
+        per_kind = self.loss_per_kind
+        items = per_kind.items() if isinstance(per_kind, Mapping) else per_kind
+        norm = tuple(sorted((str(k), float(v)) for k, v in items))
+        for kind, prob in norm:
+            if not kind:
+                raise ValueError("loss_per_kind keys must be non-empty")
+            check_probability(prob, f"loss_per_kind[{kind!r}]")
+        object.__setattr__(self, "loss_per_kind", norm)
+        groups = tuple(
+            _int_tuple(group, f"partition group {i}")
+            for i, group in enumerate(self.partition)
+        )
+        seen: set = set()
+        for group in groups:
+            overlap = seen.intersection(group)
+            if overlap:
+                raise ValueError(f"partition groups overlap on nodes {sorted(overlap)}")
+            seen.update(group)
+        object.__setattr__(self, "partition", groups)
+
+    def covers(self, round_index: int) -> bool:
+        if round_index < self.start_round:
+            return False
+        return self.end_round is None or round_index < self.end_round
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.loss == 0.0 and not self.loss_per_kind and not self.partition
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault schedule of one chaos run."""
+
+    phases: Tuple[FaultPhase, ...] = ()
+    crashes: Tuple[CrashEvent, ...] = ()
+    restarts: Tuple[RestartEvent, ...] = ()
+    churn_probability: float = 0.0
+    churn_downtime_rounds: int = 5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        object.__setattr__(
+            self, "crashes", tuple(sorted(self.crashes, key=lambda e: e.round_index))
+        )
+        object.__setattr__(
+            self, "restarts", tuple(sorted(self.restarts, key=lambda e: e.round_index))
+        )
+        for phase in self.phases:
+            if not isinstance(phase, FaultPhase):
+                raise TypeError(f"phases must hold FaultPhase, got {type(phase).__name__}")
+        for event in self.crashes:
+            if not isinstance(event, CrashEvent):
+                raise TypeError(f"crashes must hold CrashEvent, got {type(event).__name__}")
+        for event in self.restarts:
+            if not isinstance(event, RestartEvent):
+                raise TypeError(
+                    f"restarts must hold RestartEvent, got {type(event).__name__}"
+                )
+        check_probability(self.churn_probability, "churn_probability")
+        if self.churn_downtime_rounds < 1:
+            raise ValueError(
+                f"churn_downtime_rounds must be >= 1, got {self.churn_downtime_rounds}"
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all (the identity case)."""
+        return (
+            all(p.is_null for p in self.phases)
+            and not self.crashes
+            and not self.restarts
+            and self.churn_probability == 0.0
+        )
+
+    def phase_at(self, round_index: int) -> Optional[FaultPhase]:
+        """The phase in force at ``round_index`` (last matching wins)."""
+        active = None
+        for phase in self.phases:
+            if phase.covers(round_index):
+                active = phase
+        return active
+
+    def crashes_at(self, round_index: int) -> Tuple[int, ...]:
+        out: Tuple[int, ...] = ()
+        for event in self.crashes:
+            if event.round_index == round_index:
+                out += event.node_ids
+        return out
+
+    def restarts_at(self, round_index: int) -> Tuple[int, ...]:
+        out: Tuple[int, ...] = ()
+        for event in self.restarts:
+            if event.round_index == round_index:
+                out += event.node_ids
+        return out
+
+    def describe(self) -> str:
+        """A short human-readable tag for tables and logs."""
+        if self.is_null:
+            return "no-faults"
+        bits = []
+        losses = sorted({p.loss for p in self.phases if p.loss > 0.0})
+        if losses:
+            bits.append("loss=" + "/".join(f"{l:g}" for l in losses))
+        if any(p.loss_per_kind for p in self.phases):
+            bits.append("kind-loss")
+        if any(p.partition for p in self.phases):
+            bits.append("partition")
+        if self.crashes:
+            bits.append(f"crashes={sum(len(e.node_ids) for e in self.crashes)}")
+        if self.restarts:
+            bits.append(f"restarts={sum(len(e.node_ids) for e in self.restarts)}")
+        if self.churn_probability > 0.0:
+            bits.append(f"churn={self.churn_probability:g}")
+        return ",".join(bits)
+
+    # -- convenience constructors --------------------------------------------
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """The explicit zero-fault plan (bit-identical to no plan)."""
+        return FaultPlan()
+
+    @staticmethod
+    def message_loss(
+        loss: float,
+        *,
+        start_round: int = 0,
+        end_round: Optional[int] = None,
+        loss_per_kind: Union[Mapping[str, float], Sequence[Tuple[str, float]]] = (),
+    ) -> "FaultPlan":
+        """Uniform i.i.d. message loss over one round window."""
+        return FaultPlan(
+            phases=(
+                FaultPhase(
+                    start_round=start_round,
+                    end_round=end_round,
+                    loss=loss,
+                    loss_per_kind=tuple(
+                        loss_per_kind.items()
+                        if isinstance(loss_per_kind, Mapping)
+                        else loss_per_kind
+                    ),
+                ),
+            )
+        )
+
+    @staticmethod
+    def churn(
+        probability: float, *, downtime_rounds: int = 5
+    ) -> "FaultPlan":
+        """Memoryless crash/restart noise at ``probability`` per node-round."""
+        return FaultPlan(
+            churn_probability=probability, churn_downtime_rounds=downtime_rounds
+        )
+
+    @staticmethod
+    def partition(
+        groups: Sequence[Iterable[int]],
+        *,
+        start_round: int = 0,
+        end_round: Optional[int] = None,
+    ) -> "FaultPlan":
+        """A clean network cut into ``groups`` over one round window."""
+        return FaultPlan(
+            phases=(
+                FaultPhase(
+                    start_round=start_round,
+                    end_round=end_round,
+                    partition=tuple(tuple(g) for g in groups),
+                ),
+            )
+        )
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two plans (phases/events concatenate; churn takes the max)."""
+        return FaultPlan(
+            phases=self.phases + other.phases,
+            crashes=self.crashes + other.crashes,
+            restarts=self.restarts + other.restarts,
+            churn_probability=max(self.churn_probability, other.churn_probability),
+            churn_downtime_rounds=max(
+                self.churn_downtime_rounds, other.churn_downtime_rounds
+            ),
+        )

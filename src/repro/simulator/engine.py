@@ -171,9 +171,18 @@ class Simulation:
 
     # -- convenience -----------------------------------------------------------
 
-    def wake(self, node_id: int) -> None:
-        """Wake a sleeping node and fire its protocols' on_wake hooks."""
+    def wake(self, node_id: int, *, recover: bool = False) -> None:
+        """Wake a sleeping node and fire its protocols' on_wake hooks.
+
+        ``recover=True`` additionally restarts a *failed* node (via
+        :meth:`Node.recover`) before the hooks fire — the engine-level
+        entry point for crash/restart churn schedules; plain ``wake``
+        keeps refusing failed nodes so policies cannot undo a crash.
+        """
         node = self.node(node_id)
-        node.wake()
+        if recover and node.is_failed:
+            node.recover()
+        else:
+            node.wake()
         for name in self._node_protocol_names(node):
             node.protocol(name).on_wake(node, self)

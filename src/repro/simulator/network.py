@@ -4,7 +4,23 @@ In a cycle-driven simulation, exchanges are synchronous calls; the
 :class:`Network` exists to (a) count the messages and bytes a real
 deployment would send — gossip protocols advertise O(1) communication
 per node per round and we verify that claim in tests — and (b) inject
-message loss for robustness experiments.
+message faults for robustness experiments.
+
+Fault model (all reconfigurable at run time through :meth:`Network.configure`
+and :meth:`Network.set_partition`, which is how the
+:class:`~repro.faults.controller.FaultController` drives chaos runs):
+
+* i.i.d. message loss, globally (``loss_probability``) or per message
+  kind (``loss_per_kind``; the most specific ``/``-separated prefix of
+  the kind wins, so ``"glap"`` covers ``"glap/state/req"`` unless
+  ``"glap/state"`` is also configured);
+* network partitions: messages crossing partition groups are dropped
+  deterministically (no RNG draw), modelling a clean cut.
+
+Determinism contract: the RNG is consulted *only* when the effective
+loss probability of a message is positive, so a lossless network — and
+therefore a zero-fault :class:`~repro.faults.plan.FaultPlan` — consumes
+no random numbers and leaves the simulation bit-identical.
 
 The byte size of a message is an estimate supplied by the sender (e.g.
 a Q-map of ``n`` entries is ``n * ENTRY_BYTES``); we do not serialise
@@ -14,7 +30,7 @@ actual payloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +46,9 @@ class Message:
     Attributes
     ----------
     src, dst:
-        Node ids.
+        Node ids.  A negative ``dst`` denotes a broadcast/advert with no
+        single receiver (used for traffic accounting only); it is never
+        blocked by a partition.
     kind:
         Protocol-defined tag (e.g. ``"cyclon/shuffle"``, ``"glap/state"``).
     payload:
@@ -54,6 +72,7 @@ class NetworkStats:
     messages_dropped: int = 0
     bytes_sent: int = 0
     per_kind: Dict[str, int] = field(default_factory=dict)
+    dropped_per_kind: Dict[str, int] = field(default_factory=dict)
 
     def record(self, msg: Message, dropped: bool) -> None:
         self.messages_sent += 1
@@ -61,16 +80,27 @@ class NetworkStats:
         self.per_kind[msg.kind] = self.per_kind.get(msg.kind, 0) + 1
         if dropped:
             self.messages_dropped += 1
+            self.dropped_per_kind[msg.kind] = self.dropped_per_kind.get(msg.kind, 0) + 1
 
     def reset(self) -> None:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.per_kind.clear()
+        self.dropped_per_kind.clear()
+
+
+def _validate_loss_per_kind(loss_per_kind: Mapping[str, float]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for kind, prob in loss_per_kind.items():
+        if not kind:
+            raise ValueError("loss_per_kind keys must be non-empty strings")
+        out[str(kind)] = check_probability(float(prob), f"loss_per_kind[{kind!r}]")
+    return out
 
 
 class Network:
-    """Delivers messages with an optional i.i.d. loss probability.
+    """Delivers messages subject to loss and partition fault models.
 
     ``deliver`` returns ``True`` when the message goes through.  Protocols
     treat a dropped message exactly as a real gossip implementation would:
@@ -81,17 +111,93 @@ class Network:
         self,
         loss_probability: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        loss_per_kind: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.loss_probability = check_probability(loss_probability, "loss_probability")
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.loss_per_kind: Dict[str, float] = (
+            _validate_loss_per_kind(loss_per_kind) if loss_per_kind else {}
+        )
+        self._partition: Optional[Dict[int, int]] = None
         self.stats = NetworkStats()
+
+    # -- fault-model configuration (the public chaos API) -------------------
+
+    def configure(
+        self,
+        loss_probability: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+        loss_per_kind: Optional[Mapping[str, float]] = None,
+    ) -> "Network":
+        """Reconfigure the loss model in place; ``None`` leaves a field as is.
+
+        This is the supported way for experiments and tests to inject
+        message loss mid-run (rather than poking ``_rng``): pass the
+        dedicated ``"faults"`` stream as ``rng`` so chaos runs replay
+        from the root seed alone.  Returns ``self`` for chaining.
+        """
+        if loss_probability is not None:
+            self.loss_probability = check_probability(
+                loss_probability, "loss_probability"
+            )
+        if rng is not None:
+            self._rng = rng
+        if loss_per_kind is not None:
+            self.loss_per_kind = _validate_loss_per_kind(loss_per_kind)
+        return self
+
+    def set_partition(self, groups: Sequence[Iterable[int]]) -> None:
+        """Split the network: messages between different groups drop.
+
+        ``groups`` is a sequence of disjoint node-id collections.  Nodes
+        absent from every group form one implicit extra group (so a
+        single explicit group already isolates it from the rest).  An
+        empty sequence clears the partition.
+        """
+        membership: Dict[int, int] = {}
+        for gidx, group in enumerate(groups):
+            for nid in group:
+                nid = int(nid)
+                if nid in membership:
+                    raise ValueError(f"node {nid} appears in more than one group")
+                membership[nid] = gidx
+        self._partition = membership if membership else None
+
+    def clear_partition(self) -> None:
+        """Heal any active partition."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    # -- delivery ------------------------------------------------------------
+
+    def _crosses_partition(self, src: int, dst: int) -> bool:
+        if self._partition is None or dst < 0:
+            return False
+        return self._partition.get(src, -1) != self._partition.get(dst, -1)
+
+    def _loss_for(self, kind: str) -> float:
+        """Effective loss probability: most specific kind prefix wins."""
+        if self.loss_per_kind:
+            probe = kind
+            while probe:
+                if probe in self.loss_per_kind:
+                    return self.loss_per_kind[probe]
+                cut = probe.rfind("/")
+                probe = probe[:cut] if cut > 0 else ""
+        return self.loss_probability
 
     def deliver(self, msg: Message) -> bool:
         """Account for ``msg``; return False if the fault model drops it."""
-        dropped = (
-            self.loss_probability > 0.0
-            and self._rng.random() < self.loss_probability
-        )
+        if self._crosses_partition(msg.src, msg.dst):
+            dropped = True
+        else:
+            p = self._loss_for(msg.kind)
+            # Only draw when loss can occur — a lossless network must not
+            # consume randomness (the zero-fault identity contract).
+            dropped = p > 0.0 and self._rng.random() < p
         self.stats.record(msg, dropped)
         return not dropped
 

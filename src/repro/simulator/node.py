@@ -98,8 +98,22 @@ class Node:
         self.state = NodeState.UP
 
     def fail(self) -> None:
-        """Crash the node permanently (failure injection)."""
+        """Crash the node (failure injection).  ``wake``/``sleep`` refuse
+        failed nodes; only an explicit :meth:`recover` restarts one."""
         self.state = NodeState.FAILED
+
+    def recover(self) -> None:
+        """Restart a crashed node (crash-recovery churn).
+
+        Deliberately distinct from :meth:`wake` so ordinary policy code
+        can never resurrect a crashed PM by accident — only the fault
+        machinery models repairs.
+        """
+        if self.state is not NodeState.FAILED:
+            raise RuntimeError(
+                f"cannot recover node {self.node_id}: not failed ({self.state.value})"
+            )
+        self.state = NodeState.UP
 
     def __repr__(self) -> str:
         return f"Node(id={self.node_id}, state={self.state.value})"

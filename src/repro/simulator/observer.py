@@ -3,17 +3,32 @@
 The paper's evaluation metrics "are sampled at the end of each round";
 observers are the hook for that.  They must be read-only: mutating the
 simulation from an observer would entangle measurement with behaviour.
+
+:class:`InvariantObserver` is the always-on safety net for chaos runs:
+it re-checks the data centre's conservation laws after every round and
+raises :class:`InvariantViolation` the moment a policy (or a fault
+schedule) corrupts state — so a broken run fails at the offending round,
+not hundreds of rounds later in some aggregate metric.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.datacenter.cluster import DataCenter
     from repro.simulator.engine import Simulation
 
-__all__ = ["Observer", "CallbackObserver"]
+__all__ = [
+    "Observer",
+    "CallbackObserver",
+    "InvariantViolation",
+    "check_datacenter_invariants",
+    "InvariantObserver",
+]
 
 
 class Observer(abc.ABC):
@@ -37,3 +52,128 @@ class CallbackObserver(Observer):
 
     def observe(self, round_index: int, sim: "Simulation") -> None:
         self._fn(round_index, sim)
+
+
+class InvariantViolation(AssertionError):
+    """A data-centre conservation law was broken.
+
+    Subclasses :class:`AssertionError` so pytest renders it as a test
+    failure and existing assertion-based helpers stay interchangeable.
+    """
+
+
+def _violation(round_index: Optional[int], message: str) -> InvariantViolation:
+    where = "" if round_index is None else f"round {round_index}: "
+    return InvariantViolation(where + message)
+
+
+def check_datacenter_invariants(
+    dc: "DataCenter",
+    sim: Optional["Simulation"] = None,
+    round_index: Optional[int] = None,
+    *,
+    atol: float = 1e-9,
+) -> None:
+    """Check every conservation law; raise :class:`InvariantViolation` on
+    the first breach.
+
+    The laws (promoted from the integration test-suite so any run — not
+    just a test — can assert them):
+
+    * **VM conservation** — every VM is hosted by exactly one PM; none is
+      lost or duplicated, and host back-references agree.
+    * **Sleeping PMs are empty** — a switched-off PM hosts no VMs.
+    * **Utilisation-view consistency** — a PM's demand vector equals the
+      sum of its VMs' absolute demands (the gossip state protocols read
+      these views; a drifted cache would mis-place VMs silently).
+    * **Migration-record sanity** — round stamps are monotone, no
+      self-migrations, durations positive.
+    * **Node/PM state coherence** (when ``sim`` is given) — a sleeping
+      node's PM is marked asleep and an asleep PM's node is not UP;
+      failed nodes are exempt (a crash leaves the PM flag wherever the
+      crash found it).
+    """
+    hosted = sorted(vm.vm_id for pm in dc.pms for vm in pm.vms)
+    if hosted != list(range(dc.n_vms)):
+        seen = set()
+        dupes = sorted({v for v in hosted if v in seen or seen.add(v)})
+        missing = sorted(set(range(dc.n_vms)) - set(hosted))
+        raise _violation(
+            round_index,
+            f"VM conservation broken: duplicated={dupes} missing={missing}",
+        )
+
+    for pm in dc.pms:
+        if pm.asleep and not pm.is_empty:
+            raise _violation(
+                round_index,
+                f"sleeping PM {pm.pm_id} still hosts VMs "
+                f"{sorted(vm.vm_id for vm in pm.vms)}",
+            )
+        expected = np.zeros_like(pm.demand_vector())
+        for vm in pm.vms:
+            if vm.host_id != pm.pm_id:
+                raise _violation(
+                    round_index,
+                    f"VM {vm.vm_id} on PM {pm.pm_id} claims host {vm.host_id}",
+                )
+            expected += vm.current_demand_abs()
+        actual = pm.demand_vector()
+        if not np.allclose(actual, expected, atol=atol):
+            raise _violation(
+                round_index,
+                f"PM {pm.pm_id} utilisation view {actual} != VM sum {expected}",
+            )
+
+    rounds = [m.round_index for m in dc.migrations]
+    if rounds != sorted(rounds):
+        raise _violation(round_index, "migration log round stamps out of order")
+    for m in dc.migrations:
+        if m.src_pm == m.dst_pm:
+            raise _violation(
+                round_index, f"self-migration of VM {m.vm_id} on PM {m.src_pm}"
+            )
+        if not m.duration_s > 0:
+            raise _violation(
+                round_index,
+                f"migration of VM {m.vm_id} has non-positive duration {m.duration_s}",
+            )
+
+    if sim is not None:
+        for node in sim.nodes:
+            pm = node.payload
+            if pm is None or not hasattr(pm, "asleep"):
+                continue  # engine-only populations carry no PM payloads
+            if node.is_sleeping and not pm.asleep:
+                raise _violation(
+                    round_index,
+                    f"node {node.node_id} is sleeping but PM is marked awake",
+                )
+            if pm.asleep and node.is_up:
+                raise _violation(
+                    round_index,
+                    f"PM {pm.pm_id} is asleep but node {node.node_id} is UP",
+                )
+
+
+class InvariantObserver(Observer):
+    """Checks :func:`check_datacenter_invariants` at the end of every round.
+
+    Attach via ``sim.add_observer(InvariantObserver(dc))`` (the runner
+    does this when a scenario sets ``check_invariants=True``).  Strictly
+    read-only; the only state it keeps is bookkeeping about the checks
+    themselves.
+    """
+
+    def __init__(self, dc: "DataCenter", *, atol: float = 1e-9) -> None:
+        self.dc = dc
+        self.atol = atol
+        self.rounds_checked = 0
+        self.last_round_checked: Optional[int] = None
+
+    def observe(self, round_index: int, sim: "Simulation") -> None:
+        check_datacenter_invariants(
+            self.dc, sim, round_index=round_index, atol=self.atol
+        )
+        self.rounds_checked += 1
+        self.last_round_checked = round_index

@@ -15,6 +15,21 @@ from repro.traces.google import GoogleLikeTraceGenerator
 from repro.util.rng import RngStreams
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-run fixtures in tests/golden/ instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,0 +1,132 @@
+"""FaultPlan / FaultPhase / event value-object semantics."""
+
+import pytest
+
+from repro.faults import CrashEvent, FaultPhase, FaultPlan, RestartEvent
+
+
+class TestEvents:
+    def test_node_ids_sorted_and_deduped_rejected(self):
+        ev = CrashEvent(3, (5, 1, 2))
+        assert ev.node_ids == (1, 2, 5)
+        with pytest.raises(ValueError):
+            CrashEvent(3, (1, 1))
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            CrashEvent(-1, (0,))
+        with pytest.raises(ValueError):
+            RestartEvent(-1, (0,))
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(ValueError):
+            CrashEvent(0, (-2,))
+
+
+class TestFaultPhase:
+    def test_covers_window(self):
+        phase = FaultPhase(start_round=5, end_round=10, loss=0.2)
+        assert not phase.covers(4)
+        assert phase.covers(5)
+        assert phase.covers(9)
+        assert not phase.covers(10)
+
+    def test_open_ended_phase(self):
+        phase = FaultPhase(start_round=3, loss=0.1)
+        assert phase.covers(10_000)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPhase(start_round=5, end_round=5)
+
+    def test_loss_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultPhase(loss=1.5)
+        with pytest.raises(ValueError):
+            FaultPhase(loss_per_kind=(("glap", 2.0),))
+
+    def test_loss_per_kind_normalised(self):
+        a = FaultPhase(loss_per_kind=(("b", 0.1), ("a", 0.2)))
+        b = FaultPhase(loss_per_kind=(("a", 0.2), ("b", 0.1)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_overlapping_partition_groups_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPhase(partition=((0, 1), (1, 2)))
+
+    def test_null_detection(self):
+        assert FaultPhase().is_null
+        assert not FaultPhase(loss=0.1).is_null
+        assert not FaultPhase(partition=((0, 1), (2, 3))).is_null
+
+
+class TestFaultPlan:
+    def test_null_plan(self):
+        assert FaultPlan().is_null
+        assert FaultPlan.none().is_null
+        assert FaultPlan(phases=(FaultPhase(),)).is_null
+
+    def test_non_null_variants(self):
+        assert not FaultPlan.message_loss(0.3).is_null
+        assert not FaultPlan.churn(0.01).is_null
+        assert not FaultPlan.partition([(0, 1), (2, 3)]).is_null
+        assert not FaultPlan(crashes=(CrashEvent(1, (0,)),)).is_null
+
+    def test_events_sorted_by_round(self):
+        plan = FaultPlan(crashes=(CrashEvent(9, (1,)), CrashEvent(2, (0,))))
+        assert [e.round_index for e in plan.crashes] == [2, 9]
+
+    def test_phase_at_last_match_wins(self):
+        base = FaultPhase(loss=0.1)
+        storm = FaultPhase(start_round=10, end_round=20, loss=0.9)
+        plan = FaultPlan(phases=(base, storm))
+        assert plan.phase_at(5) is base
+        assert plan.phase_at(15) is storm
+        assert plan.phase_at(25) is base
+
+    def test_phase_at_none_when_uncovered(self):
+        plan = FaultPlan(phases=(FaultPhase(start_round=5, end_round=6, loss=0.5),))
+        assert plan.phase_at(0) is None
+
+    def test_crashes_and_restarts_at(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(3, (0, 1)), CrashEvent(3, (5,)), CrashEvent(4, (2,))),
+            restarts=(RestartEvent(7, (0,)),),
+        )
+        assert plan.crashes_at(3) == (0, 1, 5)
+        assert plan.crashes_at(4) == (2,)
+        assert plan.crashes_at(5) == ()
+        assert plan.restarts_at(7) == (0,)
+
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(churn_probability=1.2)
+        with pytest.raises(ValueError):
+            FaultPlan(churn_probability=0.1, churn_downtime_rounds=0)
+
+    def test_hashable_and_usable_as_key(self):
+        a = FaultPlan.message_loss(0.3)
+        b = FaultPlan.message_loss(0.3)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_picklable(self):
+        import pickle
+
+        plan = FaultPlan.message_loss(0.2).merged(FaultPlan.churn(0.01))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_merged_combines(self):
+        plan = FaultPlan.message_loss(0.2).merged(
+            FaultPlan.churn(0.05, downtime_rounds=7)
+        )
+        assert len(plan.phases) == 1
+        assert plan.churn_probability == 0.05
+        assert plan.churn_downtime_rounds == 7
+
+    def test_describe_tags(self):
+        assert FaultPlan.none().describe() == "no-faults"
+        tag = FaultPlan.message_loss(0.3).merged(FaultPlan.churn(0.01)).describe()
+        assert "loss=0.3" in tag and "churn=0.01" in tag
+        assert "partition" in FaultPlan.partition([(0,), (1,)]).describe()

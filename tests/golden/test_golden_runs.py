@@ -1,0 +1,121 @@
+"""Golden-run regression suite.
+
+Every policy is run on one pinned (scenario, seed) cell — clean and
+under a canonical fault plan — and the result is digested bit-exactly:
+scalar metrics as ``float.hex()`` strings, every time series as the
+SHA-256 of its raw buffer.  The digests are compared against the
+checked-in fixture ``tests/golden/golden_runs.json``, so *any* change
+to simulation arithmetic, RNG stream consumption, or metric plumbing
+shows up as a failure here even when it is too small to trip a
+behavioural assertion.
+
+After an intentional change to the numerics, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and review the fixture diff like any other code change.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.glap import GlapConfig
+from repro.experiments.runner import POLICY_NAMES, make_policy, run_policy
+from repro.experiments.scenarios import Scenario
+from repro.faults import FaultPlan
+from repro.traces.google import GoogleTraceParams
+
+GOLDEN_PATH = Path(__file__).parent / "golden_runs.json"
+
+SCENARIO = Scenario(
+    n_pms=12,
+    ratio=2,
+    rounds=15,
+    warmup_rounds=15,
+    repetitions=1,
+    trace_params=GoogleTraceParams(rounds_per_day=15),
+)
+POLICY_KWARGS = {"GLAP": {"config": GlapConfig(aggregation_rounds=5)}}
+#: The canonical chaos cell: enough of every fault kind to exercise the
+#: loss, churn and restart paths without drowning the run.
+CHAOS_PLAN = FaultPlan.message_loss(0.3).merged(
+    FaultPlan.churn(0.01, downtime_rounds=3)
+)
+
+CASES = [(name, "clean") for name in POLICY_NAMES] + [
+    (name, "chaos") for name in POLICY_NAMES
+]
+
+
+def _hex(value) -> str:
+    return float(value).hex()
+
+
+def digest_run(result) -> dict:
+    """A JSON-able, bit-exact fingerprint of one RunResult."""
+    out = {
+        "policy": result.policy,
+        "seed": result.seed,
+        "slavo": _hex(result.slavo),
+        "slalm": _hex(result.slalm),
+        "slav": _hex(result.slav),
+        "total_migrations": int(result.total_migrations),
+        "migration_energy_j": _hex(result.migration_energy_j),
+        "dc_energy_j": _hex(result.dc_energy_j),
+        "final_active": int(result.final_active),
+        "final_overloaded": int(result.final_overloaded),
+        "bfd_baseline_pms": int(result.bfd_baseline_pms),
+        "extras": {k: _hex(v) for k, v in sorted(result.extras.items())},
+    }
+    for name in sorted(result.series):
+        arr = np.ascontiguousarray(result.series[name])
+        sha = hashlib.sha256(arr.tobytes()).hexdigest()
+        out[f"series/{name}"] = f"{arr.dtype}{list(arr.shape)}:{sha}"
+    return out
+
+
+def compute_digest(policy_name: str, variant: str) -> dict:
+    kwargs = POLICY_KWARGS.get(policy_name, {})
+    faults = CHAOS_PLAN if variant == "chaos" else None
+    result = run_policy(
+        SCENARIO,
+        make_policy(policy_name, **kwargs),
+        SCENARIO.seed_of(0),
+        faults=faults,
+        check_invariants=variant == "chaos",
+    )
+    return digest_run(result)
+
+
+@pytest.mark.parametrize("policy_name,variant", CASES)
+def test_golden_run(policy_name, variant, update_golden):
+    key = f"{policy_name}/{variant}"
+    digest = compute_digest(policy_name, variant)
+
+    if update_golden:
+        golden = json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+        golden[key] = digest
+        GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden fixture updated for {key}")
+
+    assert GOLDEN_PATH.exists(), (
+        "no golden fixture checked in; run pytest tests/golden --update-golden"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert key in golden, f"no golden entry for {key}; rerun with --update-golden"
+    expected = golden[key]
+    if digest != expected:
+        diff = {
+            field: (expected.get(field), digest.get(field))
+            for field in sorted(set(expected) | set(digest))
+            if expected.get(field) != digest.get(field)
+        }
+        raise AssertionError(
+            f"golden digest drift for {key} (expected, got): {diff}\n"
+            "If the numerics changed intentionally, regenerate with "
+            "--update-golden and review the fixture diff."
+        )

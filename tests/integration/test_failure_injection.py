@@ -5,13 +5,9 @@ messages abort individual exchanges (never corrupt state), and crashed
 PMs disappear from the overlay without wedging the survivors.
 """
 
-import numpy as np
-import pytest
-
 from repro.core.glap import GlapConfig
 from repro.experiments.runner import build_environment, make_policy
 from repro.experiments.scenarios import Scenario
-from repro.simulator.network import Network
 from repro.traces.google import GoogleTraceParams
 
 SCENARIO = Scenario(
@@ -27,8 +23,7 @@ GLAP_CFG = GlapConfig(aggregation_rounds=10)
 
 def run_with_network(loss: float, policy_name: str = "GLAP"):
     dc, sim, streams = build_environment(SCENARIO, seed=5)
-    sim.network.loss_probability = loss
-    sim.network._rng = streams.get("faults")
+    sim.network.configure(loss_probability=loss, rng=streams.get("faults"))
     kwargs = {"config": GLAP_CFG} if policy_name == "GLAP" else {}
     policy = make_policy(policy_name, **kwargs)
     policy.attach(dc, sim, streams, SCENARIO.warmup_rounds)

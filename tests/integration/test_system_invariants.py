@@ -7,9 +7,13 @@ scenarios and check conservation laws after every round:
 * sleeping PMs host no VMs and never receive migrations;
 * PM utilisation views equal the sum of their VMs' demands;
 * migration records are consistent (src != dst, round stamps ordered).
+
+The conservation laws themselves live in
+:func:`repro.simulator.observer.check_datacenter_invariants` (shared
+with the chaos subsystem's :class:`InvariantObserver`); this module
+exercises them against every policy, including node-state coherence.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -17,25 +21,12 @@ from hypothesis import strategies as st
 from repro.core.glap import GlapConfig
 from repro.experiments.runner import build_environment, make_policy
 from repro.experiments.scenarios import Scenario
+from repro.simulator.observer import check_datacenter_invariants
 from repro.traces.google import GoogleTraceParams
 
 
-def check_invariants(dc):
-    hosted = [vm.vm_id for pm in dc.pms for vm in pm.vms]
-    assert sorted(hosted) == list(range(dc.n_vms)), "VM lost or duplicated"
-    for pm in dc.pms:
-        if pm.asleep:
-            assert pm.is_empty, f"sleeping PM {pm.pm_id} still hosts VMs"
-        expected = np.zeros(2)
-        for vm in pm.vms:
-            assert vm.host_id == pm.pm_id
-            expected += vm.current_demand_abs()
-        np.testing.assert_allclose(pm.demand_vector(), expected, atol=1e-9)
-    rounds = [m.round_index for m in dc.migrations]
-    assert rounds == sorted(rounds), "migration log out of order"
-    for m in dc.migrations:
-        assert m.src_pm != m.dst_pm
-        assert m.duration_s > 0
+def check_invariants(dc, sim=None):
+    check_datacenter_invariants(dc, sim=sim)
 
 
 @pytest.mark.parametrize("policy_name", ["GLAP", "EcoCloud", "GRMP", "PABFD"])
@@ -57,13 +48,13 @@ def test_invariants_every_round(policy_name, seed):
         dc.advance_round()
         sim.run_round()
         policy.step(dc, sim)
-        check_invariants(dc)
+        check_invariants(dc, sim)
     policy.end_warmup(dc, sim)
     for _ in range(scenario.rounds):
         dc.advance_round()
         sim.run_round()
         policy.step(dc, sim)
-        check_invariants(dc)
+        check_invariants(dc, sim)
 
 
 @given(
@@ -92,4 +83,4 @@ def test_property_grmp_conserves_vms(n_pms, ratio, seed):
     for _ in range(scenario.rounds):
         dc.advance_round()
         sim.run_round()
-        check_invariants(dc)
+        check_invariants(dc, sim)

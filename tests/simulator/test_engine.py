@@ -252,6 +252,28 @@ class TestWake:
         assert sim.node(1).is_up
         assert ("wake", 1, 0) in proto.calls
 
+    def test_wake_refuses_failed_node(self):
+        # Policies waking sleeping PMs must never resurrect a crashed
+        # one by accident — that path is reserved for recover=True.
+        sim, _ = build(n=2)
+        sim.node(1).fail()
+        with pytest.raises(RuntimeError):
+            sim.wake(1)
+        assert sim.node(1).is_failed
+
+    def test_wake_recover_restarts_failed_node(self):
+        sim, proto = build(n=2)
+        sim.node(1).fail()
+        sim.wake(1, recover=True)
+        assert sim.node(1).is_up
+        assert ("wake", 1, 0) in proto.calls
+
+    def test_wake_recover_on_sleeping_node_is_plain_wake(self):
+        sim, _ = build(n=2)
+        sim.node(1).sleep()
+        sim.wake(1, recover=True)
+        assert sim.node(1).is_up
+
     def test_determinism_same_seed(self):
         def run(seed):
             class Tracker(Protocol):

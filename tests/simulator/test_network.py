@@ -67,6 +67,111 @@ class TestLossInjection:
             Network(loss_probability=1.5)
 
 
+class TestConfigure:
+    def test_returns_self_and_updates_fields(self):
+        net = Network()
+        rng = np.random.default_rng(7)
+        assert net.configure(loss_probability=0.4, rng=rng) is net
+        assert net.loss_probability == 0.4
+        assert net._rng is rng
+
+    def test_none_leaves_field_untouched(self):
+        rng = np.random.default_rng(2)
+        net = Network(loss_probability=0.3, rng=rng)
+        net.configure(loss_per_kind={"glap": 0.5})
+        assert net.loss_probability == 0.3
+        assert net._rng is rng
+        net.configure(loss_per_kind={})
+        assert net.loss_per_kind == {}
+
+    def test_invalid_values_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.configure(loss_probability=-0.1)
+        with pytest.raises(ValueError):
+            net.configure(loss_per_kind={"k": 2.0})
+        with pytest.raises(ValueError):
+            net.configure(loss_per_kind={"": 0.5})
+
+    def test_lossless_delivery_consumes_no_randomness(self):
+        # The zero-fault identity contract: with p == 0 the RNG must not
+        # be advanced, so a later consumer sees an untouched stream.
+        rng = np.random.default_rng(5)
+        expected = np.random.default_rng(5).random()
+        net = Network(rng=rng)
+        for _ in range(100):
+            assert net.deliver(Message(0, 1, "k"))
+        assert rng.random() == expected
+
+
+class TestPerKindLoss:
+    def test_most_specific_prefix_wins(self):
+        net = Network(loss_per_kind={"glap": 0.0, "glap/state": 1.0})
+        assert net.deliver(Message(0, 1, "glap/state/req")) is False
+        assert net.deliver(Message(0, 1, "glap/advert")) is True
+
+    def test_falls_back_to_global_probability(self):
+        net = Network(
+            loss_probability=1.0,
+            loss_per_kind={"cyclon": 0.0},
+            rng=np.random.default_rng(0),
+        )
+        assert net.deliver(Message(0, 1, "cyclon/shuffle")) is True
+        assert net.deliver(Message(0, 1, "glap/state")) is False
+
+    def test_dropped_per_kind_counter(self):
+        net = Network(loss_per_kind={"a": 1.0})
+        net.deliver(Message(0, 1, "a"))
+        net.deliver(Message(0, 1, "b"))
+        assert net.stats.dropped_per_kind == {"a": 1}
+        net.reset_stats()
+        assert net.stats.dropped_per_kind == {}
+
+
+class TestPartition:
+    def test_cross_group_messages_drop_without_rng(self):
+        rng = np.random.default_rng(9)
+        expected = np.random.default_rng(9).random()
+        net = Network(rng=rng)
+        net.set_partition([(0, 1), (2, 3)])
+        assert net.partitioned
+        assert net.deliver(Message(0, 2, "k")) is False
+        assert net.deliver(Message(0, 1, "k")) is True
+        assert rng.random() == expected  # deterministic cut, no draws
+
+    def test_unlisted_nodes_form_implicit_group(self):
+        net = Network()
+        net.set_partition([(0, 1)])
+        assert net.deliver(Message(5, 6, "k")) is True  # both implicit
+        assert net.deliver(Message(0, 5, "k")) is False
+
+    def test_broadcast_exempt(self):
+        net = Network()
+        net.set_partition([(0,), (1,)])
+        assert net.deliver(Message(0, -1, "advert")) is True
+
+    def test_overlapping_groups_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.set_partition([(0, 1), (1, 2)])
+
+    def test_clear_and_empty_groups_heal(self):
+        net = Network()
+        net.set_partition([(0,), (1,)])
+        net.clear_partition()
+        assert not net.partitioned
+        net.set_partition([(0,), (1,)])
+        net.set_partition([])
+        assert not net.partitioned
+        assert net.deliver(Message(0, 1, "k")) is True
+
+    def test_exchange_ok_blocked_across_cut(self):
+        net = Network()
+        net.set_partition([(0,), (1,)])
+        assert not net.exchange_ok(0, 1, "x")
+        assert net.stats.messages_dropped == 2
+
+
 class TestMessage:
     def test_frozen(self):
         msg = Message(0, 1, "k")

@@ -26,6 +26,25 @@ class TestLifecycle:
         with pytest.raises(RuntimeError):
             node.sleep()
 
+    def test_recover_restarts_failed_node(self):
+        node = Node(0)
+        node.fail()
+        node.recover()
+        assert node.is_up
+        node.sleep()  # lifecycle fully usable again
+        node.wake()
+        assert node.is_up
+
+    def test_recover_requires_failed_state(self):
+        # Only the fault injector may restart a node; recover() on a
+        # healthy or sleeping node is a bug in the caller.
+        with pytest.raises(RuntimeError):
+            Node(0).recover()
+        node = Node(0)
+        node.sleep()
+        with pytest.raises(RuntimeError):
+            node.recover()
+
     def test_negative_id_rejected(self):
         with pytest.raises(ValueError):
             Node(-1)

@@ -84,6 +84,45 @@ class TestCompareCommand:
             assert name in out
 
 
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.loss == [0.0, 0.1, 0.3]
+        assert args.churn == 0.0
+        assert args.partition_rounds is None
+
+    def test_grid_runs_and_archives(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        rc = main(
+            ["chaos", "--pms", "10", "--ratio", "2", "--rounds", "6",
+             "--warmup", "35", "--reps", "1", "--loss", "0.0", "0.3",
+             "--churn", "0.01", "--policies", "GRMP", "PABFD",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Chaos sweep" in text
+        assert "churn=0.01" in text and "loss=0.3,churn=0.01" in text
+        assert "invariant intact" in text
+
+        payload = json.loads(out.read_text())
+        assert payload["format"] == 1
+        # 2 fault levels x 2 policies x 1 rep
+        assert len(payload["runs"]) == 4
+        for run in payload["runs"]:
+            # 6 eval + 35 warmup rounds, each invariant-checked.
+            assert run["extras"]["invariant_rounds_checked"] == 41.0
+
+    def test_partition_window(self, capsys):
+        rc = main(
+            ["chaos", "--pms", "8", "--ratio", "2", "--rounds", "6",
+             "--warmup", "35", "--loss", "0.0", "--partition-rounds",
+             "36", "40", "--policies", "GRMP"]
+        )
+        assert rc == 0
+        assert "partition" in capsys.readouterr().out
+
+
 class TestSweepCommand:
     def test_writes_archive_and_report_reloads_it(self, tmp_path, capsys):
         out = tmp_path / "results.json"
