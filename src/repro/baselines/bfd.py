@@ -14,7 +14,7 @@ of per-resource residuals); a new PM opens when none fits.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -185,6 +185,8 @@ class EcoCloudProtocol(Protocol):
         if n.is_up:
             n.sleep()
         self.switch_offs += 1
+        if sim.tracer.enabled:
+            sim.tracer.emit("pm_sleep", sim.round_index, pm.pm_id)
 
 
 class EcoCloudPolicy(ConsolidationPolicy):

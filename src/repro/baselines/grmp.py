@@ -113,6 +113,8 @@ class GrmpProtocol(Protocol):
             if n.is_up:
                 n.sleep()
             self.switch_offs += 1
+            if sim.tracer.enabled:
+                sim.tracer.emit("pm_sleep", sim.round_index, sender.pm_id)
 
     def _relieve(self, sender: PhysicalMachine, receiver: PhysicalMachine, sim: "Simulation") -> None:
         if receiver.asleep:

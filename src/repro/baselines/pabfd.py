@@ -28,7 +28,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.baselines.base import ConsolidationPolicy
 from repro.baselines.thresholds import mad_upper_threshold
@@ -241,6 +240,8 @@ class PabfdController:
             if node.is_up:
                 node.sleep()
             self.switch_offs += 1
+            if sim.tracer.enabled:
+                sim.tracer.emit("pm_sleep", sim.round_index, source.pm_id)
             return True
         return False
 

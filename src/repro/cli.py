@@ -3,12 +3,14 @@
 ::
 
     glap run --policy GLAP --pms 60 --ratio 3            # one run
+    glap run --trace run.jsonl --profile                 # ... observed
     glap compare --pms 60 --ratio 3 --reps 2             # all policies
     glap sweep --out results.json                        # scaled grid
-    glap sweep --jobs 4                                  # ... on 4 workers
+    glap sweep --jobs 4 --bench-out BENCH_sweep.json     # ... benchmarked
     glap chaos --loss 0.0 0.3 --churn 0.005              # fault-injection grid
     glap figures --figure 6                              # regenerate a figure
     glap trace --vms 100 --rounds 180 --out trace.csv    # export a trace
+    glap bench-compare baseline.json current.json        # CI perf gate
 
 Every command prints plain text; JSON output goes to ``--out`` files so
 results can be post-processed.
@@ -17,8 +19,8 @@ results can be post-processed.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.experiments.figures import (
@@ -70,6 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one policy on one scenario")
     add_scenario_args(p_run)
     p_run.add_argument("--policy", choices=POLICY_NAMES, default="GLAP")
+    p_run.add_argument(
+        "--trace",
+        type=str,
+        nargs="?",
+        const="trace.jsonl",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event trace (default path: trace.jsonl)",
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-time breakdown and record it in the "
+        "benchmark summary",
+    )
+    p_run.add_argument(
+        "--bench-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a schema-versioned benchmark summary "
+        "(default BENCH_run.json when --profile is given)",
+    )
 
     p_cmp = sub.add_parser("compare", help="run all policies on one scenario")
     add_scenario_args(p_cmp)
@@ -82,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--warmup", type=int, default=180)
     p_sweep.add_argument("--reps", type=int, default=2)
     p_sweep.add_argument("--out", type=str, default=None, help="JSON output path")
+    p_sweep.add_argument(
+        "--bench-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a kind=sweep benchmark summary (per-cell timings/metrics)",
+    )
     add_jobs_arg(p_sweep)
 
     p_chaos = sub.add_parser(
@@ -147,6 +179,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", type=str, required=True)
 
+    p_bench = sub.add_parser(
+        "bench-compare",
+        help="diff two benchmark summaries; exit non-zero on regression",
+    )
+    p_bench.add_argument("baseline", type=str, help="baseline summary JSON")
+    p_bench.add_argument("current", type=str, help="current summary JSON")
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative timing growth (default 0.15 = +15%%); "
+        "metric drift always fails regardless",
+    )
+    p_bench.add_argument(
+        "--skip-timings",
+        action="store_true",
+        help="compare metrics/context only (machine-independent gate)",
+    )
+    p_bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite BASELINE with CURRENT (after validating it) and exit 0",
+    )
+
     return parser
 
 
@@ -165,14 +221,50 @@ def _scenario_from_args(args: argparse.Namespace, reps: int = 1) -> Scenario:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs.profiler import PhaseProfiler
+    from repro.obs.summary import run_summary, write_summary
+    from repro.obs.tracer import JsonlTracer
+
     scenario = _scenario_from_args(args)
-    result = run_policy(scenario, make_policy(args.policy), seed=scenario.seed_of(0))
+    tracer = JsonlTracer(args.trace) if args.trace is not None else None
+    profiler = PhaseProfiler() if args.profile else None
+    start = time.perf_counter()
+    try:
+        result = run_policy(
+            scenario,
+            make_policy(args.policy),
+            seed=scenario.seed_of(0),
+            tracer=tracer,
+            profiler=profiler,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    wall_s = time.perf_counter() - start
     print(result)
     print(
         f"  SLAVO={result.slavo:.3g}  SLALM={result.slalm:.3g}  "
         f"energy={result.migration_energy_j:.0f} J  "
         f"BFD baseline={result.bfd_baseline_pms} PMs"
     )
+    if tracer is not None:
+        print(f"wrote {tracer.events_emitted} events to {args.trace}")
+    if profiler is not None:
+        print()
+        print(profiler.format())
+    bench_out = args.bench_out
+    if bench_out is None and args.profile:
+        bench_out = "BENCH_run.json"
+    if bench_out is not None:
+        summary = run_summary(
+            result,
+            wall_s=wall_s,
+            profiler=profiler,
+            warmup_rounds=scenario.warmup_rounds,
+            trace_events=tracer.events_emitted if tracer is not None else None,
+        )
+        write_summary(summary, bench_out)
+        print(f"wrote {bench_out}")
     return 0
 
 
@@ -195,7 +287,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup_rounds=args.warmup,
         repetitions=args.reps,
     )
-    results = run_sweep(scenarios, jobs=args.jobs)
+    results = run_sweep(scenarios, jobs=args.jobs, bench_out=args.bench_out)
     print(format_figure6(figure6_overload_fraction(results)))
     print()
     print(format_table1(table1_sla(results), results.policies))
@@ -203,6 +295,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.expectations import check_shape, format_shape_report
 
     print(format_shape_report(check_shape(results)))
+    if args.bench_out:
+        print(f"\nwrote {args.bench_out}")
     if args.out:
         from repro.experiments.store import save_sweep
 
@@ -356,6 +450,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import shutil
+
+    from repro.obs.compare import compare_summaries, format_findings
+    from repro.obs.summary import load_summary
+
+    try:
+        current = load_summary(args.current)
+        if args.update_baseline:
+            shutil.copyfile(args.current, args.baseline)
+            print(f"updated baseline {args.baseline} from {args.current}")
+            return 0
+        baseline = load_summary(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 2
+    findings = compare_summaries(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        compare_timings=not args.skip_timings,
+    )
+    print(format_findings(findings, tolerance=args.tolerance))
+    return 1 if any(f.fails for f in findings) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -366,6 +486,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "bench-compare": _cmd_bench_compare,
     }
     return handlers[args.command](args)
 

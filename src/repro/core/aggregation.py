@@ -72,3 +72,8 @@ class QAggregationProtocol(Protocol):
         merge_qtables(mine.q_out, theirs.q_out)
         merge_qtables(mine.q_in, theirs.q_in)
         self.exchanges += 1
+        if sim.tracer.enabled:
+            sim.tracer.emit(
+                "q_push", sim.round_index, node.node_id,
+                peer=peer_id, entries=mine.total_entries(),
+            )

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.qlearning import QLearningModel
 from repro.core.states import pm_state, vm_action
@@ -143,7 +142,7 @@ class GlapConsolidationProtocol(Protocol):
                 break
             if sender.is_empty:
                 break
-            if not self._migrate_one(sender, receiver):
+            if not self._migrate_one(sim, sender, receiver):
                 break
             done += 1
 
@@ -151,13 +150,16 @@ class GlapConsolidationProtocol(Protocol):
             self._switch_off(sender, sim)
         return done
 
-    def _migrate_one(self, sender: PhysicalMachine, receiver: PhysicalMachine) -> bool:
+    def _migrate_one(
+        self, sim: "Simulation", sender: PhysicalMachine, receiver: PhysicalMachine
+    ) -> bool:
         """One step of MIGRATE(); False means the round is finished."""
         model = self.models[sender.pm_id]
         chosen = self._find_vm(model, sender)
         if chosen is None:
             return False  # vm = ⊥
         action, vm = chosen
+        tracer = sim.tracer
 
         # The sender decides on the receiver's behalf using the shared
         # phi_in and the receiver's gossiped state.
@@ -165,11 +167,26 @@ class GlapConsolidationProtocol(Protocol):
             s_q = pm_state(receiver, use_average=True)
             if not model.pi_in(s_q, action):
                 self.rejections_by_q_in += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        "eviction", sim.round_index, sender.pm_id,
+                        peer=receiver.pm_id, vm=vm.vm_id, outcome="q_in_reject",
+                    )
                 return False
         if not receiver.fits(vm):
             self.rejections_by_capacity += 1
+            if tracer.enabled:
+                tracer.emit(
+                    "eviction", sim.round_index, sender.pm_id,
+                    peer=receiver.pm_id, vm=vm.vm_id, outcome="capacity_reject",
+                )
             return False
 
+        if tracer.enabled:
+            tracer.emit(
+                "eviction", sim.round_index, sender.pm_id,
+                peer=receiver.pm_id, vm=vm.vm_id, outcome="migrated",
+            )
         self.dc.migrate(vm.vm_id, receiver.pm_id)
         return True
 
@@ -201,3 +218,5 @@ class GlapConsolidationProtocol(Protocol):
         if node.is_up:
             node.sleep()
         self.switch_offs += 1
+        if sim.tracer.enabled:
+            sim.tracer.emit("pm_sleep", sim.round_index, pm.pm_id)

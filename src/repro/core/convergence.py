@@ -13,7 +13,7 @@ averaging of independent values concentrates around the population mean
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

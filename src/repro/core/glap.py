@@ -111,11 +111,17 @@ class _GlapPhaseProtocol(Protocol):
 
     def execute_round(self, node: "Node", sim: "Simulation") -> None:
         if self.phase is GlapPhase.LEARN:
-            self.learning.execute_round(node, sim)
+            protocol, label = self.learning, "learning"
         elif self.phase is GlapPhase.AGGREGATE:
-            self.aggregation.execute_round(node, sim)
+            protocol, label = self.aggregation, "aggregation"
         else:
-            self.consolidation.execute_round(node, sim)
+            protocol, label = self.consolidation, "consolidation"
+        prof = sim.profiler
+        if prof.enabled:
+            with prof.phase(label):
+                protocol.execute_round(node, sim)
+        else:
+            protocol.execute_round(node, sim)
 
 
 class GlapPolicy(ConsolidationPolicy):

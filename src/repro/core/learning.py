@@ -18,7 +18,7 @@ to encode the gap between a VM's typical and instantaneous load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
 import numpy as np
 
@@ -311,4 +311,9 @@ class GossipLearningProtocol(Protocol):
             iterations_per_round=self.iterations_per_round,
             coverage_target=self.coverage_target,
         )
-        trainer.train_round(profiles)
+        updates = trainer.train_round(profiles)
+        if sim.tracer.enabled:
+            sim.tracer.emit(
+                "q_pull", sim.round_index, node.node_id,
+                peer=peer_id, profiles=len(profiles), updates=updates,
+            )

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.datacenter.migration import MigrationModel, MigrationRecord
 from repro.datacenter.pm import PhysicalMachine
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.datacenter.resources import (
     CPU,
     EC2_MICRO,
@@ -84,6 +85,9 @@ class DataCenter:
         )
         self.migrations: List[MigrationRecord] = []
         self.current_round = -1  # no demand observed yet
+        #: Structured event tracer (no-op by default; the runner installs
+        #: a real one for `--trace` runs).  Never consumes randomness.
+        self.tracer: Tracer = NULL_TRACER
         # Columnar demand state: every VM monitor's current/average row is
         # a view into these matrices, so one vectorised assignment per
         # round refreshes all monitors at once (advance_round) and the
@@ -216,6 +220,16 @@ class DataCenter:
         dst.add_vm(vm)
         vm.record_migration_degradation(record.degraded_mips_s)
         self.migrations.append(record)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "migration",
+                self.current_round,
+                src.pm_id,
+                vm=vm.vm_id,
+                dst=dst.pm_id,
+                energy_j=record.energy_j,
+                duration_s=record.duration_s,
+            )
         return record
 
     def reset_accounting(self) -> None:

@@ -18,7 +18,6 @@ Paper section V-B:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.datacenter.pm import PhysicalMachine
 from repro.datacenter.power import LinearPowerModel

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.datacenter.resources import CPU, HP_PROLIANT_ML110_G5, MachineSpec, N_RESOURCES
+from repro.datacenter.resources import HP_PROLIANT_ML110_G5, MachineSpec, N_RESOURCES
 from repro.datacenter.vm import VirtualMachine
 
 __all__ = ["PhysicalMachine"]

@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.datacenter.monitor import VmMonitor
-from repro.datacenter.resources import CPU, EC2_MICRO, MachineSpec, N_RESOURCES
+from repro.datacenter.resources import CPU, EC2_MICRO, MachineSpec
 
 __all__ = ["VirtualMachine"]
 

@@ -22,15 +22,10 @@ from repro.core.glap import GlapPolicy
 # decomposition, process pool, trace cache); re-exported here because
 # the figure drivers are its main consumers and historical import site.
 from repro.experiments.parallel import SweepResults, run_sweep
-from repro.experiments.runner import (
-    POLICY_NAMES,
-    build_environment,
-    make_policy,
-    run_repetitions,
-)
+from repro.experiments.runner import build_environment
 from repro.experiments.scenarios import Scenario
-from repro.metrics.report import RunResult, aggregate_runs
-from repro.util.stats import PercentileSummary, percentile_summary
+from repro.metrics.report import aggregate_runs
+from repro.util.stats import percentile_summary
 
 __all__ = [
     "SweepResults",

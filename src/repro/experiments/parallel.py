@@ -19,17 +19,26 @@ waste.  The sequential path iterates repetition-major with a shared
 :class:`~repro.experiments.runner.TraceCache`; each worker process keeps
 its own small cache, bounding regeneration at one per (cell, worker).
 
-Failures: a worker exception aborts the sweep with a
-:class:`SweepExecutionError` naming the failing (scenario, policy, seed)
-instead of hanging the pool; pending units are cancelled.
+Failures: any unit exception — sequential or pooled — aborts the sweep
+with a :class:`SweepExecutionError` naming the failing (scenario,
+policy, seed); with a pool, pending units are cancelled.  The original
+exception rides along as ``__cause__``.
+
+Benchmarking: ``bench_out`` writes a schema-versioned ``kind="sweep"``
+summary (see :mod:`repro.obs.summary`) recording per-cell wall time and
+per-cell deterministic metrics.  Timings are collected out-of-band —
+they never enter :class:`~repro.metrics.report.RunResult`, so sweeps
+stay bit-identical with and without benchmarking.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import (
     POLICY_NAMES,
@@ -39,6 +48,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import Scenario
 from repro.metrics.report import RunResult
+from repro.obs.summary import METRIC_FIELDS, sweep_summary, write_summary
 
 __all__ = [
     "SweepResults",
@@ -118,14 +128,21 @@ def _run_unit(
     policy_name: str,
     seed: int,
     policy_kwargs: Optional[dict],
-) -> RunResult:
-    """Execute one (scenario, policy, repetition) unit (pool target)."""
+) -> Tuple[RunResult, float]:
+    """Execute one (scenario, policy, repetition) unit (pool target).
+
+    Returns ``(result, elapsed_s)``.  The wall time travels beside the
+    result, never inside it — ``RunResult`` stays deterministic so the
+    golden digests are unaffected by benchmarking.
+    """
     global _WORKER_TRACE_CACHE
     if _WORKER_TRACE_CACHE is None:
         _WORKER_TRACE_CACHE = TraceCache(maxsize=2)
     trace = _WORKER_TRACE_CACHE.get(scenario, seed)
     policy = make_policy(policy_name, **(policy_kwargs or {}))
-    return run_policy(scenario, policy, seed, trace=trace)
+    start = time.perf_counter()
+    result = run_policy(scenario, policy, seed, trace=trace)
+    return result, time.perf_counter() - start
 
 
 # -- driver side -------------------------------------------------------------
@@ -137,28 +154,73 @@ def _repetitions_of(scenario: Scenario, repetitions: Optional[int]) -> int:
     return reps
 
 
+def _write_sweep_bench(
+    out: SweepResults,
+    scenarios: Sequence[Scenario],
+    policies: Sequence[str],
+    cell_seconds: Dict[Tuple[str, str], float],
+    cell_calls: Dict[Tuple[str, str], int],
+    wall_s: float,
+    jobs: int,
+    bench_out: Union[str, Path],
+) -> None:
+    """Assemble and write the ``kind="sweep"`` benchmark summary."""
+    cell_timings = {
+        f"{label}/{policy}": {
+            "total_s": cell_seconds[(label, policy)],
+            "calls": cell_calls[(label, policy)],
+        }
+        for (label, policy) in sorted(cell_seconds)
+    }
+    cell_metrics: Dict[str, float] = {}
+    for (label, policy), results in sorted(out.runs.items()):
+        reps = len(results)
+        for name in METRIC_FIELDS:
+            mean = sum(float(getattr(r, name)) for r in results) / reps
+            cell_metrics[f"{label}/{policy}/{name}"] = mean
+    context = {
+        "scenarios": [s.label() for s in scenarios],
+        "policies": list(policies),
+        "jobs": jobs,
+    }
+    write_summary(
+        sweep_summary(context, cell_timings, cell_metrics, wall_s=wall_s),
+        bench_out,
+    )
+
+
 def run_sweep(
     scenarios: Sequence[Scenario],
     policies: Sequence[str] = POLICY_NAMES,
     repetitions: Optional[int] = None,
     jobs: Optional[int] = None,
     policy_kwargs: Optional[Dict[str, dict]] = None,
+    bench_out: Optional[Union[str, Path]] = None,
 ) -> SweepResults:
     """Run every (scenario, policy) with the scenario's repetitions.
 
     ``jobs`` selects the execution backend (see :func:`resolve_jobs`);
     ``policy_kwargs`` optionally maps a policy name to constructor
     kwargs.  Results are identical for every ``jobs`` value.
+
+    ``bench_out`` additionally writes a ``kind="sweep"`` benchmark
+    summary (per-cell wall time + per-cell metric means) to the given
+    path; it changes no result bit.
     """
     jobs = resolve_jobs(jobs)
     kwargs_of = policy_kwargs or {}
     out = SweepResults(scenarios=list(scenarios), policies=tuple(policies))
+    sweep_start = time.perf_counter()
+    cell_seconds: Dict[Tuple[str, str], float] = {}
+    cell_calls: Dict[Tuple[str, str], int] = {}
 
     units: List[Tuple[Scenario, str, int]] = []
     for scenario in scenarios:
         reps = _repetitions_of(scenario, repetitions)
         for policy in policies:
             out.runs[(scenario.label(), policy)] = [None] * reps  # type: ignore[list-item]
+            cell_seconds[(scenario.label(), policy)] = 0.0
+            cell_calls[(scenario.label(), policy)] = 0
         # Repetition-major so consecutive units share one trace.
         for rep in range(reps):
             for policy in policies:
@@ -168,31 +230,45 @@ def run_sweep(
         cache = TraceCache(maxsize=2)
         for scenario, policy, rep in units:
             seed = scenario.seed_of(rep)
-            trace = cache.get(scenario, seed)
-            policy_obj = make_policy(policy, **kwargs_of.get(policy, {}))
-            out.runs[(scenario.label(), policy)][rep] = run_policy(
-                scenario, policy_obj, seed, trace=trace
-            )
-        return out
-
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    try:
-        futures = {
-            pool.submit(
-                _run_unit, scenario, policy, scenario.seed_of(rep),
-                kwargs_of.get(policy),
-            ): (scenario, policy, rep)
-            for scenario, policy, rep in units
-        }
-        for fut in as_completed(futures):
-            scenario, policy, rep = futures[fut]
+            start = time.perf_counter()
             try:
-                result = fut.result()
+                trace = cache.get(scenario, seed)
+                policy_obj = make_policy(policy, **kwargs_of.get(policy, {}))
+                result = run_policy(scenario, policy_obj, seed, trace=trace)
             except Exception as exc:
                 raise SweepExecutionError(
-                    scenario.label(), policy, scenario.seed_of(rep)
+                    scenario.label(), policy, seed
                 ) from exc
             out.runs[(scenario.label(), policy)][rep] = result
-    finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+            cell_seconds[(scenario.label(), policy)] += time.perf_counter() - start
+            cell_calls[(scenario.label(), policy)] += 1
+    else:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        try:
+            futures = {
+                pool.submit(
+                    _run_unit, scenario, policy, scenario.seed_of(rep),
+                    kwargs_of.get(policy),
+                ): (scenario, policy, rep)
+                for scenario, policy, rep in units
+            }
+            for fut in as_completed(futures):
+                scenario, policy, rep = futures[fut]
+                try:
+                    result, elapsed = fut.result()
+                except Exception as exc:
+                    raise SweepExecutionError(
+                        scenario.label(), policy, scenario.seed_of(rep)
+                    ) from exc
+                out.runs[(scenario.label(), policy)][rep] = result
+                cell_seconds[(scenario.label(), policy)] += elapsed
+                cell_calls[(scenario.label(), policy)] += 1
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    if bench_out is not None:
+        _write_sweep_bench(
+            out, scenarios, policies, cell_seconds, cell_calls,
+            time.perf_counter() - sweep_start, jobs, bench_out,
+        )
     return out

@@ -19,14 +19,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.baselines.base import ConsolidationPolicy
 from repro.baselines.bfd import bfd_baseline_active_pms
 from repro.baselines.ecocloud import EcoCloudPolicy
 from repro.baselines.grmp import GrmpPolicy
 from repro.baselines.pabfd import PabfdPolicy
-from repro.core.glap import GlapConfig, GlapPolicy
+from repro.core.glap import GlapPolicy
 from repro.datacenter.cluster import DataCenter
 from repro.experiments.scenarios import Scenario
 from repro.faults.controller import FaultController
@@ -34,6 +33,9 @@ from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import RunResult
 from repro.metrics.sla import slalm, slavo
+from repro.obs.observers import OverloadTraceObserver
+from repro.obs.profiler import NULL_PROFILER, NullProfiler
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import Simulation
 from repro.simulator.node import Node
 from repro.simulator.observer import InvariantObserver
@@ -187,6 +189,8 @@ def run_policy(
     trace: Optional[TraceSource] = None,
     faults: Optional[FaultPlan] = None,
     check_invariants: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[NullProfiler] = None,
 ) -> RunResult:
     """Run one policy through warmup + evaluation; returns the result.
 
@@ -202,8 +206,22 @@ def run_policy(
     ``check_invariants`` (default: ``scenario.check_invariants``)
     attaches an :class:`InvariantObserver` that re-verifies the
     conservation laws at the end of every round, warmup included.
+
+    ``tracer`` installs a structured event tracer on the data centre,
+    the engine and the fault controller (see :mod:`repro.obs.tracer`);
+    ``profiler`` accumulates a per-phase wall-time breakdown (see
+    :mod:`repro.obs.profiler`).  Both default to shared no-ops, never
+    consume randomness, and leave every result bit-identical — the
+    golden suite asserts this even with tracing *enabled*.
     """
     dc, sim, streams = build_simulation(scenario, seed, trace=trace)
+
+    tracer = tracer if tracer is not None else NULL_TRACER
+    prof = profiler if profiler is not None else NULL_PROFILER
+    dc.tracer = tracer
+    sim.tracer = tracer
+    sim.profiler = prof
+    sim.network.profiler = prof
 
     plan = faults if faults is not None else scenario.faults
     controller: Optional[FaultController] = None
@@ -217,27 +235,40 @@ def run_policy(
     if invariants:
         observer = InvariantObserver(dc)
         sim.add_observer(observer)
+    if tracer.enabled:
+        sim.add_observer(OverloadTraceObserver(dc, tracer))
 
     policy.attach(dc, sim, streams, scenario.warmup_rounds)
 
+    # The per-stage timers cost one no-op context manager per stage per
+    # round when profiling is off — far below measurement noise.
     for _ in range(scenario.warmup_rounds):
-        dc.advance_round()
+        with prof.phase("advance_round"):
+            dc.advance_round()
         if controller is not None:
-            controller.before_round(dc, sim)
-        sim.run_round()
-        policy.step(dc, sim)
+            with prof.phase("faults"):
+                controller.before_round(dc, sim)
+        with prof.phase("engine_round"):
+            sim.run_round()
+        with prof.phase("policy_step"):
+            policy.step(dc, sim)
 
     policy.end_warmup(dc, sim)
     dc.reset_accounting()
 
     collector = MetricsCollector(dc)
     for r in range(scenario.rounds):
-        dc.advance_round()
+        with prof.phase("advance_round"):
+            dc.advance_round()
         if controller is not None:
-            controller.before_round(dc, sim)
-        sim.run_round()
-        policy.step(dc, sim)
-        collector.sample()
+            with prof.phase("faults"):
+                controller.before_round(dc, sim)
+        with prof.phase("engine_round"):
+            sim.run_round()
+        with prof.phase("policy_step"):
+            policy.step(dc, sim)
+        with prof.phase("metrics"):
+            collector.sample()
         if round_hook is not None:
             round_hook(r, dc, sim)
 

@@ -13,7 +13,7 @@ which scale produced the reported numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.traces.google import GoogleTraceParams

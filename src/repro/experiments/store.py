@@ -17,12 +17,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import List, Union
 
 import numpy as np
 
 from repro.experiments.figures import SweepResults
-from repro.experiments.scenarios import Scenario
 from repro.metrics.report import RunResult
 
 __all__ = ["save_results", "load_results", "save_sweep", "load_sweep"]

@@ -25,7 +25,6 @@ from repro.faults.plan import FaultPhase, FaultPlan
 if TYPE_CHECKING:  # pragma: no cover
     from repro.datacenter.cluster import DataCenter
     from repro.simulator.engine import Simulation
-    from repro.simulator.node import Node
 
 __all__ = ["FaultController"]
 
@@ -101,6 +100,8 @@ class FaultController:
             return False
         node.fail()
         self.crashes_injected += 1
+        if sim.tracer.enabled:
+            sim.tracer.emit("pm_crash", sim.round_index, node_id)
         return True
 
     def _restart(self, dc: "DataCenter", sim: "Simulation", node_id: int) -> bool:
@@ -117,6 +118,8 @@ class FaultController:
         else:
             sim.wake(node_id, recover=True)
         self.restarts_injected += 1
+        if sim.tracer.enabled:
+            sim.tracer.emit("pm_restart", sim.round_index, node_id)
         return True
 
     def _apply_churn(self, dc: "DataCenter", sim: "Simulation", round_index: int) -> None:

@@ -9,7 +9,7 @@ list of repetitions into :class:`AggregatedMetric` rows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

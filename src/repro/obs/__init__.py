@@ -1,0 +1,60 @@
+"""Observability: structured tracing, phase profiling, benchmark artifacts.
+
+The subsystem has four layers, from emission to CI enforcement:
+
+* :mod:`repro.obs.tracer` — typed JSONL event tracing with a
+  zero-overhead no-op default (``NULL_TRACER``);
+* :mod:`repro.obs.profiler` — context-manager phase timers producing a
+  per-phase wall-time breakdown (``NULL_PROFILER`` default);
+* :mod:`repro.obs.summary` — the schema-versioned ``BENCH_run.json``
+  run-summary artifact;
+* :mod:`repro.obs.compare` — the ``glap bench-compare`` diff used by the
+  CI ``perf-smoke`` gate.
+"""
+
+from repro.obs.compare import Finding, compare_summaries, format_findings
+from repro.obs.observers import OverloadTraceObserver
+from repro.obs.profiler import NULL_PROFILER, NullProfiler, PhaseProfiler, PhaseStats
+from repro.obs.summary import (
+    METRIC_FIELDS,
+    SCHEMA,
+    SCHEMA_VERSION,
+    load_summary,
+    run_summary,
+    sweep_summary,
+    write_summary,
+)
+from repro.obs.tracer import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    JsonlTracer,
+    RecordingTracer,
+    Tracer,
+    load_trace,
+    read_trace,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "Tracer",
+    "NULL_TRACER",
+    "JsonlTracer",
+    "RecordingTracer",
+    "read_trace",
+    "load_trace",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "PhaseProfiler",
+    "PhaseStats",
+    "OverloadTraceObserver",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "METRIC_FIELDS",
+    "run_summary",
+    "sweep_summary",
+    "write_summary",
+    "load_summary",
+    "Finding",
+    "compare_summaries",
+    "format_findings",
+]

@@ -1,0 +1,149 @@
+"""Phase profiling: a wall-time breakdown of where a run spends its time.
+
+A simulation round is a fixed pipeline — trace refresh, fault
+scheduling, the gossip round (learning / aggregation / consolidation
+depending on the GLAP phase), policy bookkeeping, metric sampling — and
+perf regressions almost always live in exactly one stage.  The profiler
+wraps each stage in a context-manager timer and accumulates per-phase
+totals, so ``glap run --profile`` prints (and ``BENCH_run.json``
+records) a breakdown instead of one opaque wall-time number.
+
+Nesting: phases may nest (e.g. ``consolidation`` and
+``network_delivery`` run inside ``engine_round``).  Each phase
+accumulates its own inclusive time, and :attr:`PhaseProfiler.top_level_s`
+sums only depth-0 spans — that is the figure comparable to the measured
+wall time of the instrumented region (the test suite asserts the two
+agree within tolerance).
+
+The default at every call site is :data:`NULL_PROFILER`; hot paths guard
+with ``if profiler.enabled:`` so unprofiled runs pay one attribute check
+per stage.  Profiling reads the clock but never the RNG, so enabling it
+cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+__all__ = ["PhaseStats", "NullProfiler", "NULL_PROFILER", "PhaseProfiler"]
+
+
+class PhaseStats:
+    """Accumulated inclusive wall time and entry count of one phase."""
+
+    __slots__ = ("name", "total_s", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_s = 0.0
+        self.calls = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"total_s": self.total_s, "calls": self.calls}
+
+    def __repr__(self) -> str:
+        return f"PhaseStats({self.name!r}, total_s={self.total_s:.6f}, calls={self.calls})"
+
+
+class _NullSpan:
+    """Shared do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullProfiler:
+    """No-op profiler: the zero-overhead default at every call site."""
+
+    enabled: bool = False
+
+    def phase(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: Shared no-op instance installed everywhere by default.
+NULL_PROFILER = NullProfiler()
+
+
+class _Span:
+    """One timed entry into a phase (allocated per ``with`` block)."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._profiler._depth += 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._t0
+        prof = self._profiler
+        prof._depth -= 1
+        stats = prof._phases.get(self._name)
+        if stats is None:
+            stats = prof._phases[self._name] = PhaseStats(self._name)
+        stats.total_s += elapsed
+        stats.calls += 1
+        if prof._depth == 0:
+            prof.top_level_s += elapsed
+
+
+class PhaseProfiler(NullProfiler):
+    """Accumulates per-phase wall time; see the module docstring.
+
+    Usage::
+
+        prof = PhaseProfiler()
+        with prof.phase("engine_round"):
+            ...
+        prof.breakdown()   # {"engine_round": {"total_s": ..., "calls": ...}}
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, PhaseStats] = {}
+        self._depth = 0
+        #: Wall time accumulated by depth-0 spans only (no double count).
+        self.top_level_s = 0.0
+
+    def phase(self, name: str) -> _Span:  # type: ignore[override]
+        return _Span(self, name)
+
+    # -- reporting ----------------------------------------------------------
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{"total_s": ..., "calls": ...}``, insertion order."""
+        return {name: stats.as_dict() for name, stats in self._phases.items()}
+
+    def items(self) -> List[Tuple[str, PhaseStats]]:
+        """Phases sorted by descending total time."""
+        return sorted(self._phases.items(), key=lambda kv: -kv[1].total_s)
+
+    def format(self) -> str:
+        """A human-readable breakdown table (largest phase first)."""
+        if not self._phases:
+            return "phase breakdown: (no phases recorded)"
+        total = self.top_level_s or sum(s.total_s for s in self._phases.values())
+        width = max(len(name) for name in self._phases)
+        lines = [f"{'phase'.ljust(width)}  {'total':>10s}  {'calls':>8s}  {'share':>6s}"]
+        for name, stats in self.items():
+            share = stats.total_s / total if total > 0 else 0.0
+            lines.append(
+                f"{name.ljust(width)}  {stats.total_s:9.3f}s  {stats.calls:8d}  {share:5.1%}"
+            )
+        lines.append(f"{'(top-level total)'.ljust(width)}  {self.top_level_s:9.3f}s")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Schema-versioned run summary artifacts (``BENCH_run.json``).
+
+A run summary is the machine-readable record of one benchmarked
+execution: what was run (context), how long each phase took (timings)
+and what came out (metrics).  It is the unit of comparison for
+``glap bench-compare`` and the CI perf gate — two summaries of the same
+pinned (scenario, seed) cell must agree on every metric bit-for-bit and
+on every timing within tolerance.
+
+Layout (``SCHEMA`` / ``SCHEMA_VERSION`` gate readers)::
+
+    {
+      "schema": "glap-bench",
+      "schema_version": 1,
+      "kind": "run" | "sweep",
+      "context":  {"policy": ..., "n_pms": ..., "seed": ..., ...},
+      "timings":  {"wall_s": ..., "phases": {name: {"total_s":..., "calls":...}}},
+      "metrics":  {name: number, ...}
+    }
+
+Timings are machine-dependent; metrics are fully deterministic given
+(scenario, seed) — the comparison tool treats the two accordingly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.report import RunResult
+    from repro.obs.profiler import PhaseProfiler
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "METRIC_FIELDS",
+    "run_summary",
+    "sweep_summary",
+    "write_summary",
+    "load_summary",
+]
+
+SCHEMA = "glap-bench"
+SCHEMA_VERSION = 1
+
+#: The RunResult scalars a run summary records (all deterministic).
+METRIC_FIELDS = (
+    "slavo",
+    "slalm",
+    "slav",
+    "total_migrations",
+    "migration_energy_j",
+    "dc_energy_j",
+    "final_active",
+    "final_overloaded",
+    "bfd_baseline_pms",
+)
+
+
+def _envelope(kind: str) -> Dict[str, Any]:
+    return {"schema": SCHEMA, "schema_version": SCHEMA_VERSION, "kind": kind}
+
+
+def run_summary(
+    result: "RunResult",
+    *,
+    wall_s: float,
+    profiler: Optional["PhaseProfiler"] = None,
+    warmup_rounds: Optional[int] = None,
+    trace_events: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build a ``kind="run"`` summary from one finished run."""
+    summary = _envelope("run")
+    context: Dict[str, Any] = {
+        "policy": result.policy,
+        "n_pms": result.n_pms,
+        "n_vms": result.n_vms,
+        "rounds": result.rounds,
+        "seed": result.seed,
+    }
+    if warmup_rounds is not None:
+        context["warmup_rounds"] = int(warmup_rounds)
+    summary["context"] = context
+    timings: Dict[str, Any] = {"wall_s": float(wall_s)}
+    if profiler is not None:
+        timings["phases"] = profiler.breakdown()
+    summary["timings"] = timings
+    summary["metrics"] = {name: getattr(result, name) for name in METRIC_FIELDS}
+    if trace_events is not None:
+        summary["trace_events"] = int(trace_events)
+    return summary
+
+
+def sweep_summary(
+    context: Dict[str, Any],
+    cell_timings: Dict[str, Dict[str, float]],
+    cell_metrics: Dict[str, float],
+    *,
+    wall_s: float,
+) -> Dict[str, Any]:
+    """Build a ``kind="sweep"`` summary.
+
+    ``cell_timings`` maps ``"<scenario>/<policy>"`` to
+    ``{"total_s": ..., "calls": ...}`` (wall time summed over that
+    cell's repetitions); ``cell_metrics`` maps flat metric keys to
+    deterministic numbers.
+    """
+    summary = _envelope("sweep")
+    summary["context"] = dict(context)
+    summary["timings"] = {"wall_s": float(wall_s), "phases": dict(cell_timings)}
+    summary["metrics"] = dict(cell_metrics)
+    return summary
+
+
+def write_summary(summary: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Write a summary atomically enough for CI (tmp file + rename)."""
+    _validate(summary, where=str(path))
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    tmp.replace(target)
+
+
+def load_summary(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate a summary written by :func:`write_summary`."""
+    try:
+        summary = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    _validate(summary, where=str(path))
+    return summary
+
+
+def _validate(summary: Any, *, where: str) -> None:
+    if not isinstance(summary, dict):
+        raise ValueError(f"{where}: summary must be a JSON object")
+    if summary.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{where}: schema {summary.get('schema')!r} is not {SCHEMA!r}"
+        )
+    version = summary.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{where}: schema_version {version!r} unsupported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    for section in ("context", "timings", "metrics"):
+        if not isinstance(summary.get(section), dict):
+            raise ValueError(f"{where}: missing or malformed {section!r} section")
+    if "wall_s" not in summary["timings"]:
+        raise ValueError(f"{where}: timings section lacks wall_s")

@@ -9,7 +9,7 @@ dead nodes age out of the network in O(view-size) shuffles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -24,6 +24,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.profiler import NULL_PROFILER, NullProfiler
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.network import Network
 from repro.simulator.node import Node
 from repro.simulator.observer import Observer
@@ -71,6 +73,11 @@ class Simulation:
         self._observers: List[Observer] = []
         self.round_index: int = 0
         self._finished = False
+        #: Observability hooks — no-op by default, so an uninstrumented
+        #: run pays one attribute check per guarded site and consumes no
+        #: randomness either way (the golden suite pins this).
+        self.tracer: Tracer = NULL_TRACER
+        self.profiler: NullProfiler = NULL_PROFILER
 
     # -- population access --------------------------------------------------
 
@@ -105,6 +112,21 @@ class Simulation:
 
     def run_round(self) -> None:
         """Execute one full round."""
+        prof = self.profiler
+        if prof.enabled:
+            with prof.phase("round_hooks"):
+                self._run_round_hooks()
+            with prof.phase("gossip"):
+                self._run_active_threads()
+            with prof.phase("observers"):
+                self._run_observers()
+        else:
+            self._run_round_hooks()
+            self._run_active_threads()
+            self._run_observers()
+        self.round_index += 1
+
+    def _run_round_hooks(self) -> None:
         # Phase 1: per-round refresh hooks for live nodes.
         for node in self._nodes:
             if not node.is_up:
@@ -112,6 +134,7 @@ class Simulation:
             for name in self._node_protocol_names(node):
                 node.protocol(name).on_round_start(node, self)
 
+    def _run_active_threads(self) -> None:
         # Phase 2: active threads in random order.  The snapshot of live
         # nodes is taken once; nodes that sleep mid-round are skipped when
         # their turn comes (re-checked below), and nodes woken mid-round
@@ -128,10 +151,10 @@ class Simulation:
                     break
                 node.protocol(name).execute_round(node, self)
 
+    def _run_observers(self) -> None:
         # Phase 3: end-of-round sampling.
         for observer in self._observers:
             observer.observe(self.round_index, self)
-        self.round_index += 1
 
     def run(self, rounds: int, *, finish: bool = True) -> None:
         """Execute ``rounds`` additional rounds.
@@ -184,5 +207,7 @@ class Simulation:
             node.recover()
         else:
             node.wake()
+        if self.tracer.enabled:
+            self.tracer.emit("pm_wake", self.round_index, node_id, recover=recover)
         for name in self._node_protocol_names(node):
             node.protocol(name).on_wake(node, self)

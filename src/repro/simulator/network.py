@@ -34,7 +34,8 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.util.validation import check_non_negative, check_probability
+from repro.obs.profiler import NULL_PROFILER, NullProfiler
+from repro.util.validation import check_probability
 
 __all__ = ["Message", "NetworkStats", "Network"]
 
@@ -120,6 +121,9 @@ class Network:
         )
         self._partition: Optional[Dict[int, int]] = None
         self.stats = NetworkStats()
+        #: Phase profiler (no-op by default); when enabled, push-pull
+        #: exchange delivery is accumulated under ``network_delivery``.
+        self.profiler: NullProfiler = NULL_PROFILER
 
     # -- fault-model configuration (the public chaos API) -------------------
 
@@ -207,8 +211,21 @@ class Network:
         Push-pull gossip needs the request and the response delivered; a
         drop of either aborts the exchange for this round.
         """
-        request = self.deliver(Message(src, dst, kind + "/req", size_bytes=size_bytes))
-        reply = self.deliver(Message(dst, src, kind + "/rep", size_bytes=size_bytes))
+        if self.profiler.enabled:
+            with self.profiler.phase("network_delivery"):
+                request = self.deliver(
+                    Message(src, dst, kind + "/req", size_bytes=size_bytes)
+                )
+                reply = self.deliver(
+                    Message(dst, src, kind + "/rep", size_bytes=size_bytes)
+                )
+        else:
+            request = self.deliver(
+                Message(src, dst, kind + "/req", size_bytes=size_bytes)
+            )
+            reply = self.deliver(
+                Message(dst, src, kind + "/rep", size_bytes=size_bytes)
+            )
         return request and reply
 
     def reset_stats(self) -> None:

@@ -11,7 +11,7 @@ instance of every configured protocol.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 __all__ = ["NodeState", "Node"]
 

@@ -14,7 +14,7 @@ not hundreds of rounds later in some aggregate metric.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 

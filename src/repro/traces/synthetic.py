@@ -17,7 +17,6 @@ in :mod:`repro.traces.google` is one particular parameterisation.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

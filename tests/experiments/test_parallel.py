@@ -189,9 +189,18 @@ class TestFailurePropagation:
         assert "GRMP" in str(err) and SMALL.label() in str(err)
         assert err.__cause__ is not None
 
-    def test_sequential_failure_raises_plainly(self):
-        with pytest.raises(TypeError):
+    def test_sequential_failure_names_the_cell(self):
+        """jobs=1 failures carry the same (scenario, policy, seed)
+        provenance as pool failures — the report must never lose the
+        failing cell's label."""
+        with pytest.raises(SweepExecutionError) as excinfo:
             run_sweep(
                 [SMALL], policies=("GRMP",), repetitions=1, jobs=1,
                 policy_kwargs={"GRMP": {"bogus_option": 1}},
             )
+        err = excinfo.value
+        assert err.scenario_label == SMALL.label()
+        assert err.policy == "GRMP"
+        assert err.seed == SMALL.seed_of(0)
+        assert SMALL.label() in str(err) and str(SMALL.seed_of(0)) in str(err)
+        assert isinstance(err.__cause__, TypeError)

@@ -91,6 +91,41 @@ def compute_digest(policy_name: str, variant: str) -> dict:
     return digest_run(result)
 
 
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_traced_run_matches_clean_golden(policy_name, tmp_path, update_golden):
+    """An *enabled* tracer + profiler must not move a single bit.
+
+    Tracing reads simulation state and the profiler reads the clock;
+    neither touches an RNG stream, so the digest of a fully-observed run
+    must equal the checked-in "clean" golden entry exactly.
+    """
+    if update_golden:
+        pytest.skip("fixture refresh handled by test_golden_run")
+    from repro.obs.profiler import PhaseProfiler
+    from repro.obs.tracer import JsonlTracer, load_trace
+
+    kwargs = POLICY_KWARGS.get(policy_name, {})
+    trace_path = tmp_path / "trace.jsonl"
+    tracer = JsonlTracer(trace_path)
+    result = run_policy(
+        SCENARIO,
+        make_policy(policy_name, **kwargs),
+        SCENARIO.seed_of(0),
+        tracer=tracer,
+        profiler=PhaseProfiler(),
+    )
+    tracer.close()
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert digest_run(result) == golden[f"{policy_name}/clean"], (
+        f"tracing perturbed the {policy_name} run — tracer/profiler code "
+        "must never consume randomness or mutate simulation state"
+    )
+    # The trace itself must round-trip as valid, typed events.
+    events = load_trace(trace_path)
+    assert len(events) == tracer.events_emitted
+
+
 @pytest.mark.parametrize("policy_name,variant", CASES)
 def test_golden_run(policy_name, variant, update_golden):
     key = f"{policy_name}/{variant}"

@@ -1,0 +1,124 @@
+"""Tests for repro.obs.compare — the bench-compare gate semantics."""
+
+import copy
+
+import pytest
+
+from repro.obs.compare import compare_summaries, format_findings
+from repro.obs.summary import SCHEMA, SCHEMA_VERSION
+
+
+def summary(wall_s=1.0, phases=None, metrics=None, context=None):
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "kind": "run",
+        "context": context or {"policy": "GLAP", "n_pms": 40, "seed": 2016},
+        "timings": {
+            "wall_s": wall_s,
+            "phases": phases or {"gossip": {"total_s": 0.8, "calls": 80}},
+        },
+        "metrics": metrics or {"slav": 4.6e-07, "total_migrations": 107},
+    }
+
+
+class TestCleanComparison:
+    def test_identical_summaries_pass(self):
+        base = summary()
+        assert compare_summaries(base, copy.deepcopy(base)) == []
+
+    def test_float_noise_below_rtol_ignored(self):
+        base = summary()
+        cur = copy.deepcopy(base)
+        cur["metrics"]["slav"] *= 1.0 + 1e-14
+        assert compare_summaries(base, cur) == []
+
+
+class TestMetricDrift:
+    def test_any_drift_fails_at_every_tolerance(self):
+        base = summary()
+        cur = copy.deepcopy(base)
+        cur["metrics"]["total_migrations"] = 108
+        for tol in (0.0, 0.15, 10.0):
+            findings = compare_summaries(base, cur, tolerance=tol)
+            assert any(
+                f.fails and f.category == "metric_drift" for f in findings
+            )
+
+    def test_one_sided_metric_fails(self):
+        base = summary()
+        cur = copy.deepcopy(base)
+        del cur["metrics"]["slav"]
+        findings = compare_summaries(base, cur)
+        assert any(f.fails and f.key == "slav" for f in findings)
+
+    def test_drift_detected_with_timings_skipped(self):
+        base = summary(wall_s=1.0)
+        cur = summary(wall_s=99.0)  # huge timing delta, but skipped
+        cur["metrics"]["slav"] = 1.0
+        findings = compare_summaries(base, cur, compare_timings=False)
+        assert all(f.category != "timing_regression" for f in findings)
+        assert any(f.category == "metric_drift" for f in findings)
+
+
+class TestTimingRegression:
+    def test_20pct_regression_fails_at_15pct_tolerance(self):
+        base, cur = summary(wall_s=1.0), summary(wall_s=1.20)
+        findings = compare_summaries(base, cur, tolerance=0.15)
+        fails = [f for f in findings if f.fails]
+        assert [f.key for f in fails] == ["wall_s"]
+        assert fails[0].category == "timing_regression"
+
+    def test_within_tolerance_passes(self):
+        findings = compare_summaries(
+            summary(wall_s=1.0), summary(wall_s=1.10), tolerance=0.15
+        )
+        assert not any(f.fails for f in findings)
+
+    def test_phase_regression_detected(self):
+        base = summary(phases={"gossip": {"total_s": 1.0, "calls": 80}})
+        cur = summary(phases={"gossip": {"total_s": 2.0, "calls": 80}})
+        findings = compare_summaries(base, cur, tolerance=0.5)
+        assert any(f.fails and f.key == "phase/gossip" for f in findings)
+
+    def test_improvement_is_info_not_fail(self):
+        findings = compare_summaries(
+            summary(wall_s=2.0), summary(wall_s=1.0), tolerance=0.15
+        )
+        infos = [f for f in findings if f.key == "wall_s"]
+        assert infos and infos[0].severity == "info"
+        assert not any(f.fails for f in findings)
+
+    def test_one_sided_phase_warns_only(self):
+        base = summary(phases={})
+        cur = summary(phases={"new_phase": {"total_s": 5.0, "calls": 1}})
+        findings = compare_summaries(base, cur)
+        hits = [f for f in findings if f.key == "phase/new_phase"]
+        assert hits and hits[0].severity == "warn"
+        assert not any(f.fails for f in findings)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_summaries(summary(), summary(), tolerance=-0.1)
+
+
+class TestContext:
+    def test_context_mismatch_fails(self):
+        base = summary(context={"policy": "GLAP", "seed": 2016})
+        cur = summary(context={"policy": "GRMP", "seed": 2016})
+        findings = compare_summaries(base, cur)
+        assert any(f.fails and f.category == "context" for f in findings)
+
+
+class TestFormatting:
+    def test_ok_line_when_clean(self):
+        assert "OK" in format_findings([], tolerance=0.15)
+
+    def test_failures_listed_first_with_counts(self):
+        base, cur = summary(wall_s=1.0), summary(wall_s=5.0)
+        cur["metrics"]["slav"] = 1.0
+        findings = compare_summaries(base, cur)
+        text = format_findings(findings, tolerance=0.15)
+        lines = text.splitlines()
+        assert lines[0].startswith("[FAIL]")
+        assert "failing finding(s)" in lines[-1]

@@ -1,0 +1,94 @@
+"""Tests for repro.obs.profiler — spans, nesting, wall-time accounting."""
+
+import time
+
+from repro.obs.profiler import NULL_PROFILER, NullProfiler, PhaseProfiler, PhaseStats
+
+
+class TestNullProfiler:
+    def test_disabled_and_shared_span(self):
+        assert NULL_PROFILER.enabled is False
+        # The no-op span is shared: entering it allocates nothing.
+        assert NULL_PROFILER.phase("a") is NULL_PROFILER.phase("b")
+
+    def test_span_is_a_context_manager(self):
+        with NullProfiler().phase("anything"):
+            pass
+
+
+class TestPhaseProfiler:
+    def test_accumulates_totals_and_calls(self):
+        prof = PhaseProfiler()
+        assert prof.enabled is True
+        for _ in range(3):
+            with prof.phase("learning"):
+                pass
+        with prof.phase("metrics"):
+            pass
+        breakdown = prof.breakdown()
+        assert breakdown["learning"]["calls"] == 3
+        assert breakdown["metrics"]["calls"] == 1
+        assert breakdown["learning"]["total_s"] >= 0.0
+
+    def test_nested_phases_do_not_double_count_top_level(self):
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                time.sleep(0.02)
+        bd = prof.breakdown()
+        # Inclusive per-phase times: inner is contained in outer.
+        assert bd["outer"]["total_s"] >= bd["inner"]["total_s"]
+        # But the top-level figure counts the outer span only once.
+        assert prof.top_level_s < bd["outer"]["total_s"] + bd["inner"]["total_s"]
+        assert abs(prof.top_level_s - bd["outer"]["total_s"]) < 1e-9
+
+    def test_top_level_total_tracks_wall_time(self):
+        """The acceptance contract: summed depth-0 spans ~= measured wall
+        time of the instrumented region."""
+        prof = PhaseProfiler()
+        t0 = time.perf_counter()
+        for _ in range(5):
+            with prof.phase("a"):
+                time.sleep(0.004)
+            with prof.phase("b"):
+                with prof.phase("b/inner"):
+                    time.sleep(0.004)
+        wall = time.perf_counter() - t0
+        assert prof.top_level_s <= wall + 1e-6
+        # Everything inside the loop is instrumented, so the profiler
+        # should explain the overwhelming share of the wall time.
+        assert prof.top_level_s > 0.8 * wall
+
+    def test_items_sorted_by_descending_time(self):
+        prof = PhaseProfiler()
+        with prof.phase("short"):
+            pass
+        with prof.phase("long"):
+            time.sleep(0.01)
+        assert [name for name, _ in prof.items()][0] == "long"
+
+    def test_format_lists_every_phase(self):
+        prof = PhaseProfiler()
+        with prof.phase("gossip"):
+            pass
+        text = prof.format()
+        assert "gossip" in text and "top-level total" in text
+
+    def test_format_empty(self):
+        assert "no phases" in PhaseProfiler().format()
+
+    def test_exception_inside_span_still_recorded(self):
+        prof = PhaseProfiler()
+        try:
+            with prof.phase("risky"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert prof.breakdown()["risky"]["calls"] == 1
+        assert prof._depth == 0  # depth unwinds even on error
+
+
+def test_phase_stats_dict_shape():
+    stats = PhaseStats("x")
+    stats.total_s, stats.calls = 1.5, 2
+    assert stats.as_dict() == {"total_s": 1.5, "calls": 2}

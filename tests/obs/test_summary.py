@@ -1,0 +1,130 @@
+"""Tests for repro.obs.summary — schema, round-trip, validation."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import make_policy, run_policy
+from repro.experiments.scenarios import Scenario
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.summary import (
+    METRIC_FIELDS,
+    SCHEMA,
+    SCHEMA_VERSION,
+    load_summary,
+    run_summary,
+    sweep_summary,
+    write_summary,
+)
+from repro.traces.google import GoogleTraceParams
+
+SMALL = Scenario(
+    n_pms=10,
+    ratio=2,
+    rounds=6,
+    warmup_rounds=6,
+    repetitions=1,
+    trace_params=GoogleTraceParams(rounds_per_day=6),
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_policy(SMALL, make_policy("GRMP"), seed=SMALL.seed_of(0))
+
+
+class TestRunSummary:
+    def test_envelope_and_sections(self, small_result):
+        s = run_summary(small_result, wall_s=1.25)
+        assert s["schema"] == SCHEMA
+        assert s["schema_version"] == SCHEMA_VERSION
+        assert s["kind"] == "run"
+        assert s["context"]["policy"] == "GRMP"
+        assert s["context"]["n_pms"] == 10
+        assert s["timings"]["wall_s"] == 1.25
+        assert set(s["metrics"]) == set(METRIC_FIELDS)
+
+    def test_profiler_phases_recorded(self, small_result):
+        prof = PhaseProfiler()
+        with prof.phase("engine_round"):
+            pass
+        s = run_summary(small_result, wall_s=0.5, profiler=prof)
+        assert s["timings"]["phases"]["engine_round"]["calls"] == 1
+
+    def test_optional_fields(self, small_result):
+        s = run_summary(
+            small_result, wall_s=0.5, warmup_rounds=6, trace_events=17
+        )
+        assert s["context"]["warmup_rounds"] == 6
+        assert s["trace_events"] == 17
+        bare = run_summary(small_result, wall_s=0.5)
+        assert "warmup_rounds" not in bare["context"]
+        assert "trace_events" not in bare
+
+
+class TestSweepSummary:
+    def test_shape(self):
+        s = sweep_summary(
+            {"scenarios": ["10-2"], "policies": ["GRMP"], "jobs": 1},
+            {"10-2/GRMP": {"total_s": 0.7, "calls": 2}},
+            {"10-2/GRMP/slav": 0.001},
+            wall_s=0.9,
+        )
+        assert s["kind"] == "sweep"
+        assert s["timings"]["phases"]["10-2/GRMP"]["calls"] == 2
+        assert s["metrics"]["10-2/GRMP/slav"] == 0.001
+
+
+class TestWriteLoad:
+    def test_round_trip(self, small_result, tmp_path):
+        path = tmp_path / "BENCH_run.json"
+        s = run_summary(small_result, wall_s=2.0)
+        write_summary(s, path)
+        assert load_summary(path) == s
+
+    def test_write_is_atomic_no_tmp_left_behind(self, small_result, tmp_path):
+        path = tmp_path / "b.json"
+        write_summary(run_summary(small_result, wall_s=1.0), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["b.json"]
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_summary(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "alien.json"
+        path.write_text(json.dumps({"schema": "other", "schema_version": 1}))
+        with pytest.raises(ValueError, match="schema"):
+            load_summary(path)
+
+    def test_load_rejects_future_version(self, small_result, tmp_path):
+        s = run_summary(small_result, wall_s=1.0)
+        s["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(s))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_summary(path)
+
+    def test_load_rejects_missing_sections(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(
+            json.dumps({"schema": SCHEMA, "schema_version": SCHEMA_VERSION})
+        )
+        with pytest.raises(ValueError, match="context"):
+            load_summary(path)
+
+    def test_load_rejects_missing_wall_s(self, small_result, tmp_path):
+        s = run_summary(small_result, wall_s=1.0)
+        del s["timings"]["wall_s"]
+        path = tmp_path / "nowall.json"
+        path.write_text(json.dumps(s))
+        with pytest.raises(ValueError, match="wall_s"):
+            load_summary(path)
+
+    def test_write_validates_before_writing(self, tmp_path):
+        path = tmp_path / "never.json"
+        with pytest.raises(ValueError):
+            write_summary({"schema": "junk"}, path)
+        assert not path.exists()

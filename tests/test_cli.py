@@ -84,6 +84,116 @@ class TestCompareCommand:
             assert name in out
 
 
+class TestRunObservability:
+    RUN_ARGS = ["run", "--policy", "GRMP", "--pms", "10", "--ratio", "2",
+                "--rounds", "8", "--warmup", "6"]
+
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs.tracer import load_trace
+
+        trace = tmp_path / "run.jsonl"
+        rc = main(self.RUN_ARGS + ["--trace", str(trace)])
+        assert rc == 0
+        assert "events to" in capsys.readouterr().out
+        events = load_trace(trace)  # validates every line
+        assert events, "a consolidating run must emit events"
+
+    def test_profile_prints_breakdown_and_writes_default_summary(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs.summary import load_summary
+
+        monkeypatch.chdir(tmp_path)
+        rc = main(self.RUN_ARGS + ["--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine_round" in out and "share" in out
+        summary = load_summary(tmp_path / "BENCH_run.json")
+        assert summary["kind"] == "run"
+        assert summary["context"]["policy"] == "GRMP"
+        assert "engine_round" in summary["timings"]["phases"]
+
+    def test_bench_out_without_profile(self, tmp_path):
+        from repro.obs.summary import load_summary
+
+        path = tmp_path / "b.json"
+        rc = main(self.RUN_ARGS + ["--bench-out", str(path)])
+        assert rc == 0
+        summary = load_summary(path)
+        assert summary["timings"]["wall_s"] > 0.0
+        assert "phases" not in summary["timings"]  # no profiler attached
+
+
+class TestBenchCompareCommand:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        base = tmp_path / "baseline.json"
+        rc = main(["run", "--policy", "GRMP", "--pms", "10", "--ratio", "2",
+                   "--rounds", "8", "--warmup", "6", "--bench-out", str(base)])
+        assert rc == 0
+        return tmp_path, base
+
+    def test_identical_summaries_pass(self, artifacts, capsys):
+        tmp_path, base = artifacts
+        rc = main(["bench-compare", str(base), str(base)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_rerun_matches_baseline_metrics(self, artifacts, capsys):
+        # A fresh run of the pinned cell drifts in timing but never in
+        # metrics — the machine-independent CI gate.
+        tmp_path, base = artifacts
+        cur = tmp_path / "current.json"
+        rc = main(["run", "--policy", "GRMP", "--pms", "10", "--ratio", "2",
+                   "--rounds", "8", "--warmup", "6", "--bench-out", str(cur)])
+        assert rc == 0
+        rc = main(["bench-compare", str(base), str(cur), "--skip-timings"])
+        assert rc == 0
+
+    def test_injected_timing_regression_fails(self, artifacts, capsys):
+        tmp_path, base = artifacts
+        bumped = json.loads(base.read_text())
+        bumped["timings"]["wall_s"] *= 1.20
+        reg = tmp_path / "regressed.json"
+        reg.write_text(json.dumps(bumped))
+        rc = main(["bench-compare", str(base), str(reg), "--tolerance", "0.15"])
+        assert rc == 1
+        assert "timing_regression" in capsys.readouterr().out
+
+    def test_metric_drift_fails_even_with_skip_timings(self, artifacts, capsys):
+        tmp_path, base = artifacts
+        drifted = json.loads(base.read_text())
+        drifted["metrics"]["total_migrations"] += 1
+        cur = tmp_path / "drifted.json"
+        cur.write_text(json.dumps(drifted))
+        rc = main(["bench-compare", str(base), str(cur), "--skip-timings"])
+        assert rc == 1
+        assert "metric_drift" in capsys.readouterr().out
+
+    def test_update_baseline_overwrites_and_passes(self, artifacts, capsys):
+        tmp_path, base = artifacts
+        bumped = json.loads(base.read_text())
+        bumped["timings"]["wall_s"] *= 10.0
+        cur = tmp_path / "new.json"
+        cur.write_text(json.dumps(bumped))
+        rc = main(["bench-compare", str(base), str(cur), "--update-baseline"])
+        assert rc == 0
+        assert "updated baseline" in capsys.readouterr().out
+        assert json.loads(base.read_text()) == bumped
+
+    def test_malformed_input_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        rc = main(["bench-compare", str(bad), str(bad)])
+        assert rc == 2
+        assert "bench-compare:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path):
+        rc = main(["bench-compare", str(tmp_path / "a.json"),
+                   str(tmp_path / "b.json")])
+        assert rc == 2
+
+
 class TestChaosCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["chaos"])
@@ -142,6 +252,20 @@ class TestSweepCommand:
         assert rc == 0
         text = capsys.readouterr().out
         assert "Figure 7" in text and "Paper-shape report" in text
+
+    def test_bench_out_writes_sweep_summary(self, tmp_path, capsys):
+        from repro.obs.summary import load_summary
+
+        path = tmp_path / "BENCH_sweep.json"
+        rc = main(
+            ["sweep", "--sizes", "10", "--ratios", "2", "--rounds", "6",
+             "--warmup", "35", "--reps", "1", "--bench-out", str(path)]
+        )
+        assert rc == 0
+        summary = load_summary(path)
+        assert summary["kind"] == "sweep"
+        assert summary["timings"]["phases"], "expected per-cell timings"
+        assert f"wrote {path}" in capsys.readouterr().out
 
     def test_parallel_sweep_smoke(self, capsys):
         # The process-pool backend end to end through the CLI.
