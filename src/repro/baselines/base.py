@@ -18,7 +18,7 @@ aggregates Q-values during warmup); consolidation must start only after
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.datacenter.cluster import DataCenter
@@ -49,3 +49,24 @@ class ConsolidationPolicy(abc.ABC):
 
     def step(self, dc: "DataCenter", sim: "Simulation") -> None:
         """Centralised per-round hook, after the gossip round."""
+
+    # -- checkpointing -------------------------------------------------------
+    #
+    # The resume path rebuilds a run deterministically (attach() on a
+    # fresh simulation), then overwrites every piece of *mutable* policy
+    # state from the checkpoint.  ``state_dict`` therefore only needs to
+    # cover what attach() cannot reproduce: learned models, protocol
+    # counters, phase/enablement flags, monitoring histories, overlay
+    # views.  RNG stream state is handled by ``RngStreams`` directly.
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe mutable policy state; ``{}`` for stateless policies."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` (after attach)."""
+        if state:
+            raise ValueError(
+                f"{self.name} carries no checkpointable state, got keys "
+                f"{sorted(state)}"
+            )

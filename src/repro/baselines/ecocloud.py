@@ -207,3 +207,17 @@ class EcoCloudPolicy(ConsolidationPolicy):
     def end_warmup(self, dc: DataCenter, sim: "Simulation") -> None:
         assert self.protocol is not None, "attach() must run first"
         self.protocol.enabled = True
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        assert self.protocol is not None
+        return {
+            "enabled": self.protocol.enabled,
+            "switch_offs": self.protocol.switch_offs,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        assert self.protocol is not None
+        self.protocol.enabled = bool(state["enabled"])
+        self.protocol.switch_offs = int(state["switch_offs"])

@@ -159,3 +159,19 @@ class GrmpPolicy(ConsolidationPolicy):
     def end_warmup(self, dc: DataCenter, sim: "Simulation") -> None:
         assert self.protocol is not None, "attach() must run first"
         self.protocol.enabled = True
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        assert self.protocol is not None and self.cyclon is not None
+        return {
+            "cyclon": self.cyclon.state_dict(),
+            "enabled": self.protocol.enabled,
+            "switch_offs": self.protocol.switch_offs,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        assert self.protocol is not None and self.cyclon is not None
+        self.cyclon.load_state_dict(state["cyclon"])
+        self.protocol.enabled = bool(state["enabled"])
+        self.protocol.switch_offs = int(state["switch_offs"])

@@ -288,3 +288,31 @@ class PabfdPolicy(ConsolidationPolicy):
     def step(self, dc: DataCenter, sim: "Simulation") -> None:
         assert self.controller is not None, "attach() must run first"
         self.controller.step(sim)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        assert self.controller is not None
+        ctl = self.controller
+        return {
+            "histories": {
+                str(pm_id): list(hist) for pm_id, hist in ctl._history.items()
+            },
+            "enabled": ctl.enabled,
+            "wake_ups": ctl.wake_ups,
+            "switch_offs": ctl.switch_offs,
+            "rounds_seen": ctl._rounds_seen,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        assert self.controller is not None
+        ctl = self.controller
+        maxlen = ctl.config.history_window
+        for pm_id_str, values in state["histories"].items():
+            ctl._history[int(pm_id_str)] = deque(
+                (float(v) for v in values), maxlen=maxlen
+            )
+        ctl.enabled = bool(state["enabled"])
+        ctl.wake_ups = int(state["wake_ups"])
+        ctl.switch_offs = int(state["switch_offs"])
+        ctl._rounds_seen = int(state["rounds_seen"])

@@ -1,0 +1,400 @@
+"""Snapshot and restore of complete run state.
+
+Save side: :func:`save_checkpoint` serialises a :class:`RunEnv` — the
+bundle of live objects the experiment runner drives — into one
+schema-versioned JSON file, written atomically so a crash mid-write can
+never leave a truncated checkpoint.
+
+Restore side: :func:`restore_checkpoint` replays the runner's *fresh*
+setup path deterministically (build simulation, install observability
+and faults, attach the policy), then overwrites every piece of mutable
+state from the file, and restores the RNG bit-generator states **last**
+— any randomness consumed while rebuilding (overlay bootstraps, initial
+placement) becomes irrelevant.  The result continues bit-identically to
+a run that never stopped.
+
+Serialisation notes:
+
+* Python floats round-trip exactly through ``json`` (shortest-repr),
+  so scalar state needs no hex encoding.
+* Per-PM VM lists are stored *in insertion order*: a PM's VM dict order
+  is the float-summation order of its demand vectors, so reordering
+  would perturb bit-exactness.
+* Fault plans and scenarios reuse :mod:`repro.config`'s converters; the
+  *effective* plan (which may have been passed to ``run_policy``
+  explicitly rather than via the scenario) is stored separately from
+  the scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.config import (
+    faultplan_from_dict,
+    faultplan_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.datacenter.migration import MigrationRecord
+from repro.metrics.collector import MetricsCollector
+from repro.simulator.node import NodeState
+from repro.util.io import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.baselines.base import ConsolidationPolicy
+    from repro.datacenter.cluster import DataCenter
+    from repro.experiments.scenarios import Scenario
+    from repro.faults.controller import FaultController
+    from repro.obs.profiler import NullProfiler
+    from repro.obs.tracer import Tracer
+    from repro.simulator.engine import Simulation
+    from repro.simulator.observer import InvariantObserver
+    from repro.traces.base import TraceSource
+    from repro.util.rng import RngStreams
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "RunEnv",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = "glap-checkpoint"
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunEnv:
+    """Everything one in-flight run consists of.
+
+    The experiment runner assembles this for fresh runs;
+    :func:`restore_checkpoint` reassembles it from a file.  The
+    observability hooks (tracer/profiler) live on ``sim`` itself.
+    """
+
+    scenario: "Scenario"
+    policy: "ConsolidationPolicy"
+    seed: int
+    dc: "DataCenter"
+    sim: "Simulation"
+    streams: "RngStreams"
+    collector: Optional[MetricsCollector] = None
+    controller: Optional["FaultController"] = None
+    invariant_observer: Optional["InvariantObserver"] = None
+    #: Evaluation rounds completed so far (0 for a run still in warmup).
+    eval_rounds_done: int = 0
+
+
+# -- capture -----------------------------------------------------------------
+
+
+def _capture_state(env: RunEnv) -> Dict[str, Any]:
+    dc, sim = env.dc, env.sim
+    state: Dict[str, Any] = {
+        "nodes": {str(n.node_id): n.state.value for n in sim.nodes},
+        "pms": [
+            {
+                "pm_id": pm.pm_id,
+                "asleep": pm.asleep,
+                "active_seconds": pm.active_seconds,
+                "saturated_seconds": pm.saturated_seconds,
+            }
+            for pm in dc.pms
+        ],
+        "vms": [
+            {
+                "vm_id": vm.vm_id,
+                "cpu_requested_mips_s": vm.cpu_requested_mips_s,
+                "cpu_degraded_mips_s": vm.cpu_degraded_mips_s,
+                "migrations": vm.migrations,
+                "monitor": {
+                    "current": [float(x) for x in vm.monitor.current],
+                    "average": [float(x) for x in vm.monitor.average],
+                    "count": vm.monitor.count,
+                },
+            }
+            for vm in dc.vms
+        ],
+        # Per-PM VM id lists, in each PM's insertion order (see module
+        # docstring: the order is float-summation order).
+        "placement": [[vm.vm_id for vm in pm.vms] for pm in dc.pms],
+        "migrations": [
+            {
+                "round_index": m.round_index,
+                "vm_id": m.vm_id,
+                "src_pm": m.src_pm,
+                "dst_pm": m.dst_pm,
+                "duration_s": m.duration_s,
+                "energy_j": m.energy_j,
+                "degraded_mips_s": m.degraded_mips_s,
+            }
+            for m in dc.migrations
+        ],
+        "network": sim.network.state_dict(),
+        "policy": env.policy.state_dict(),
+    }
+    state["faults"] = (
+        env.controller.state_dict() if env.controller is not None else None
+    )
+    if env.collector is not None:
+        col = env.collector
+        state["collector"] = {
+            "series": {name: list(s.values) for name, s in col.series.items()},
+            "migrations_at_start": col._migrations_at_start,
+            "energy_at_start": col._energy_at_start,
+            "last_migrations": col._last_migrations,
+            "last_energy": col._last_energy,
+        }
+    else:
+        state["collector"] = None
+    if env.invariant_observer is not None:
+        obs = env.invariant_observer
+        state["invariants"] = {
+            "rounds_checked": obs.rounds_checked,
+            "last_round_checked": obs.last_round_checked,
+        }
+    else:
+        state["invariants"] = None
+    return state
+
+
+def save_checkpoint(env: RunEnv, path: Union[str, Path]) -> Dict[str, Any]:
+    """Snapshot ``env`` to ``path`` (atomic write); returns the payload.
+
+    Must be called at an evaluation-round boundary — after the round's
+    metrics sample, before the next ``advance_round`` — which is the
+    only point at which the state sections above are mutually
+    consistent.
+    """
+    plan = env.controller.plan if env.controller is not None else None
+    payload: Dict[str, Any] = {
+        "schema": CHECKPOINT_SCHEMA,
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "scenario": scenario_to_dict(env.scenario),
+        "policy": env.policy.name,
+        "seed": env.seed,
+        "faults": faultplan_to_dict(plan) if plan is not None else None,
+        "check_invariants": env.invariant_observer is not None,
+        "progress": {
+            "eval_rounds_done": env.eval_rounds_done,
+            "sim_round_index": env.sim.round_index,
+            "dc_current_round": env.dc.current_round,
+        },
+        "rng": env.streams.state_dict(),
+        "state": _capture_state(env),
+    }
+    atomic_write_text(json.dumps(payload), path)
+    return payload
+
+
+# -- load / validate ---------------------------------------------------------
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a checkpoint file's envelope."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    _validate(payload, where=str(path))
+    return payload
+
+
+def _validate(payload: Any, *, where: str) -> None:
+    if not isinstance(payload, dict):
+        raise ValueError(f"{where}: checkpoint must be a JSON object")
+    if payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"{where}: schema {payload.get('schema')!r} is not "
+            f"{CHECKPOINT_SCHEMA!r}"
+        )
+    version = payload.get("schema_version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{where}: schema_version {version!r} unsupported "
+            f"(this build reads version {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    for section in ("scenario", "progress", "rng", "state"):
+        if not isinstance(payload.get(section), dict):
+            raise ValueError(f"{where}: missing or malformed {section!r} section")
+    for key in ("policy", "seed"):
+        if key not in payload:
+            raise ValueError(f"{where}: missing {key!r}")
+    state = payload["state"]
+    for section in ("nodes", "pms", "vms", "placement", "migrations", "network", "policy"):
+        if section not in state:
+            raise ValueError(f"{where}: state lacks {section!r}")
+    progress = payload["progress"]
+    for key in ("eval_rounds_done", "sim_round_index", "dc_current_round"):
+        if key not in progress:
+            raise ValueError(f"{where}: progress lacks {key!r}")
+
+
+# -- restore -----------------------------------------------------------------
+
+
+def _restore_state(env: RunEnv, state: Dict[str, Any]) -> None:
+    dc, sim = env.dc, env.sim
+
+    # Placement first: detach every VM, then rebuild each PM's VM dict
+    # in the recorded insertion order.
+    for vm in dc.vms:
+        if vm.host_id is not None:
+            dc.pm(vm.host_id).remove_vm(vm.vm_id)
+    for pm, vm_ids in zip(dc.pms, state["placement"]):
+        for vm_id in vm_ids:
+            pm.add_vm(dc.vm(int(vm_id)))
+
+    for node in sim.nodes:
+        node.state = NodeState(state["nodes"][str(node.node_id)])
+
+    for pm, pm_state in zip(dc.pms, state["pms"]):
+        if pm.pm_id != pm_state["pm_id"]:
+            raise ValueError(
+                f"checkpoint PM order mismatch: {pm.pm_id} != {pm_state['pm_id']}"
+            )
+        pm.asleep = bool(pm_state["asleep"])
+        pm.active_seconds = float(pm_state["active_seconds"])
+        pm.saturated_seconds = float(pm_state["saturated_seconds"])
+
+    for vm, vm_state in zip(dc.vms, state["vms"]):
+        if vm.vm_id != vm_state["vm_id"]:
+            raise ValueError(
+                f"checkpoint VM order mismatch: {vm.vm_id} != {vm_state['vm_id']}"
+            )
+        vm.cpu_requested_mips_s = float(vm_state["cpu_requested_mips_s"])
+        vm.cpu_degraded_mips_s = float(vm_state["cpu_degraded_mips_s"])
+        vm.migrations = int(vm_state["migrations"])
+        mon = vm_state["monitor"]
+        # Monitor rows are views into the data centre's matrices; assign
+        # in place so both sides stay bound.
+        vm.monitor.current[:] = mon["current"]
+        vm.monitor.average[:] = mon["average"]
+        vm.monitor.count = int(mon["count"])
+
+    dc.migrations[:] = [MigrationRecord(**m) for m in state["migrations"]]
+    sim.network.load_state_dict(state["network"])
+    env.policy.load_state_dict(state["policy"])
+    if env.controller is not None:
+        if state["faults"] is None:
+            raise ValueError("checkpoint lacks fault-controller state")
+        env.controller.load_state_dict(state["faults"])
+
+    col_state = state["collector"]
+    if col_state is not None:
+        collector = MetricsCollector(dc)
+        for name, values in col_state["series"].items():
+            collector.series[name].values = [float(v) for v in values]
+        collector._migrations_at_start = int(col_state["migrations_at_start"])
+        collector._energy_at_start = float(col_state["energy_at_start"])
+        collector._last_migrations = int(col_state["last_migrations"])
+        collector._last_energy = float(col_state["last_energy"])
+        env.collector = collector
+
+    inv_state = state["invariants"]
+    if env.invariant_observer is not None and inv_state is not None:
+        env.invariant_observer.rounds_checked = int(inv_state["rounds_checked"])
+        env.invariant_observer.last_round_checked = (
+            None
+            if inv_state["last_round_checked"] is None
+            else int(inv_state["last_round_checked"])
+        )
+
+
+def restore_checkpoint(
+    path: Union[str, Path],
+    policy: "ConsolidationPolicy",
+    *,
+    trace: Optional["TraceSource"] = None,
+    tracer: Optional["Tracer"] = None,
+    profiler: Optional["NullProfiler"] = None,
+) -> RunEnv:
+    """Rebuild a resumable :class:`RunEnv` from a checkpoint file.
+
+    ``policy`` must be a *fresh* instance constructed exactly as for the
+    original run (same name, same configuration) — policy configuration
+    is the caller's provenance, the checkpoint stores only the mutable
+    learned/progress state plus the policy name for validation.
+
+    ``trace`` short-circuits workload regeneration (same contract as
+    ``run_policy``); ``tracer``/``profiler`` re-enable observability on
+    the resumed run — neither consumes randomness, so resuming with or
+    without them is bit-identical.
+    """
+    # Late imports: the runner imports this package for saving, so the
+    # restore path must pull the runner in lazily.
+    from repro.experiments.runner import build_simulation
+    from repro.faults.controller import FaultController
+    from repro.obs.observers import OverloadTraceObserver
+    from repro.obs.profiler import NULL_PROFILER
+    from repro.obs.tracer import NULL_TRACER
+    from repro.simulator.observer import InvariantObserver
+
+    payload = load_checkpoint(path)
+    if policy.name != payload["policy"]:
+        raise ValueError(
+            f"{path}: checkpoint is for policy {payload['policy']!r}, "
+            f"got a {policy.name!r} instance"
+        )
+    scenario = scenario_from_dict(payload["scenario"])
+    seed = int(payload["seed"])
+    plan = (
+        faultplan_from_dict(payload["faults"])
+        if payload.get("faults") is not None
+        else None
+    )
+
+    # Replay the fresh-run setup path (see runner.run_policy) minus the
+    # warmup loop: every step below is deterministic given (scenario,
+    # seed), and whatever randomness it consumes is overwritten when the
+    # RNG states load at the end.
+    dc, sim, streams = build_simulation(scenario, seed, trace=trace)
+    the_tracer = tracer if tracer is not None else NULL_TRACER
+    prof = profiler if profiler is not None else NULL_PROFILER
+    dc.tracer = the_tracer
+    sim.tracer = the_tracer
+    sim.profiler = prof
+    sim.network.profiler = prof
+
+    controller: Optional[FaultController] = None
+    if plan is not None:
+        controller = FaultController(plan, streams.get("faults")).install(dc, sim)
+
+    observer: Optional[InvariantObserver] = None
+    if payload.get("check_invariants"):
+        observer = InvariantObserver(dc)
+        sim.add_observer(observer)
+    overload_observer: Optional[OverloadTraceObserver] = None
+    if the_tracer.enabled:
+        overload_observer = OverloadTraceObserver(dc, the_tracer)
+        sim.add_observer(overload_observer)
+
+    policy.attach(dc, sim, streams, scenario.warmup_rounds)
+
+    env = RunEnv(
+        scenario=scenario,
+        policy=policy,
+        seed=seed,
+        dc=dc,
+        sim=sim,
+        streams=streams,
+        controller=controller,
+        invariant_observer=observer,
+        eval_rounds_done=int(payload["progress"]["eval_rounds_done"]),
+    )
+    _restore_state(env, payload["state"])
+    if overload_observer is not None:
+        overload_observer.rearm()
+
+    dc.current_round = int(payload["progress"]["dc_current_round"])
+    sim.resume_at(int(payload["progress"]["sim_round_index"]))
+    # RNG states last: this invalidates every draw consumed during the
+    # rebuild above and pins all future draws to the checkpointed point.
+    env.streams.load_state_dict(payload["rng"])
+    return env

@@ -37,7 +37,12 @@ from repro.experiments.figures import (
     format_percentile_rows,
     run_sweep,
 )
-from repro.experiments.runner import POLICY_NAMES, make_policy, run_policy
+from repro.experiments.runner import (
+    POLICY_NAMES,
+    make_policy,
+    resume_policy,
+    run_policy,
+)
 from repro.experiments.scenarios import Scenario, chaos_variants, scaled_grid
 from repro.experiments.tables import format_table1, table1_sla
 from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
@@ -95,6 +100,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a schema-versioned benchmark summary "
         "(default BENCH_run.json when --profile is given)",
     )
+    p_run.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a resumable checkpoint of complete run state here "
+        "(atomically; at minimum once, at the end of the run)",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also checkpoint every N evaluation rounds (requires "
+        "--checkpoint)",
+    )
+    p_run.add_argument(
+        "--resume-from",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="resume from a checkpoint instead of starting fresh; the "
+        "scenario flags are ignored (the checkpoint carries them) and "
+        "the finished run is bit-identical to an uninterrupted one",
+    )
 
     p_cmp = sub.add_parser("compare", help="run all policies on one scenario")
     add_scenario_args(p_cmp)
@@ -113,6 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a kind=sweep benchmark summary (per-cell timings/metrics)",
+    )
+    p_sweep.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist each (scenario, policy, seed) unit's result to this "
+        "directory as it completes, enabling --resume",
+    )
+    p_sweep.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint in-flight units every N evaluation rounds into "
+        "the store (requires --store)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip units already completed in --store and continue partial "
+        "ones from their latest checkpoint; merged results equal a "
+        "from-scratch sweep",
     )
     add_jobs_arg(p_sweep)
 
@@ -230,13 +283,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     profiler = PhaseProfiler() if args.profile else None
     start = time.perf_counter()
     try:
-        result = run_policy(
-            scenario,
-            make_policy(args.policy),
-            seed=scenario.seed_of(0),
-            tracer=tracer,
-            profiler=profiler,
-        )
+        if args.resume_from is not None:
+            result = resume_policy(
+                args.resume_from,
+                make_policy(args.policy),
+                tracer=tracer,
+                profiler=profiler,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_to=args.checkpoint,
+            )
+        else:
+            result = run_policy(
+                scenario,
+                make_policy(args.policy),
+                seed=scenario.seed_of(0),
+                tracer=tracer,
+                profiler=profiler,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint,
+            )
     finally:
         if tracer is not None:
             tracer.close()
@@ -249,6 +314,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if tracer is not None:
         print(f"wrote {tracer.events_emitted} events to {args.trace}")
+    if args.checkpoint is not None:
+        print(f"wrote checkpoint {args.checkpoint}")
     if profiler is not None:
         print()
         print(profiler.format())
@@ -287,7 +354,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup_rounds=args.warmup,
         repetitions=args.reps,
     )
-    results = run_sweep(scenarios, jobs=args.jobs, bench_out=args.bench_out)
+    results = run_sweep(
+        scenarios,
+        jobs=args.jobs,
+        bench_out=args.bench_out,
+        store_dir=args.store,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
     print(format_figure6(figure6_overload_fraction(results)))
     print()
     print(format_table1(table1_sla(results), results.policies))

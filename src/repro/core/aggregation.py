@@ -73,7 +73,16 @@ class QAggregationProtocol(Protocol):
         merge_qtables(mine.q_in, theirs.q_in)
         self.exchanges += 1
         if sim.tracer.enabled:
+            # Push-pull: *both* tables changed, so both sides get an
+            # event — the initiator's and the peer's, with mirrored
+            # provenance.  Per-node aggregation accounting (events
+            # grouped by the ``node`` field) would otherwise undercount
+            # the passive side of every exchange.
             sim.tracer.emit(
                 "q_push", sim.round_index, node.node_id,
                 peer=peer_id, entries=mine.total_entries(),
+            )
+            sim.tracer.emit(
+                "q_push", sim.round_index, peer_id,
+                peer=node.node_id, entries=theirs.total_entries(),
             )

@@ -223,6 +223,7 @@ class GlapPolicy(ConsolidationPolicy):
         self.phase_protocol = _GlapPhaseProtocol(learning, aggregation, consolidation)
 
         dispatcher = _PhaseDispatcher(self)  # shared: one schedule tick per round
+        self._dispatcher = dispatcher
         for node in sim.nodes:
             node.register("overlay", overlay_protocol)
             node.register("glap", dispatcher)
@@ -258,6 +259,51 @@ class GlapPolicy(ConsolidationPolicy):
     def consolidation(self) -> GlapConsolidationProtocol:
         assert self.phase_protocol is not None
         return self.phase_protocol.consolidation
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        assert self.phase_protocol is not None, "attach() must run first"
+        pp = self.phase_protocol
+        cons = pp.consolidation
+        out: Dict = {
+            "phase": pp.phase.value,
+            "rounds_seen": self._rounds_seen,
+            "round_token": self._dispatcher._round_token,
+            "models": {str(nid): m.to_dict() for nid, m in self.models.items()},
+            "aggregation_exchanges": pp.aggregation.exchanges,
+            "consolidation": {
+                "exchanges": cons.exchanges,
+                "rejections_by_q_in": cons.rejections_by_q_in,
+                "rejections_by_capacity": cons.rejections_by_capacity,
+                "switch_offs": cons.switch_offs,
+            },
+        }
+        if self.cyclon is not None:
+            out["cyclon"] = self.cyclon.state_dict()
+        return out
+
+    def load_state_dict(self, state: Dict) -> None:
+        assert self.phase_protocol is not None, "attach() must run first"
+        pp = self.phase_protocol
+        pp.phase = GlapPhase(state["phase"])
+        self._rounds_seen = int(state["rounds_seen"])
+        self._dispatcher._round_token = int(state["round_token"])
+        # The models dict object is shared with the learning/aggregation/
+        # consolidation protocols — replace values in place, never rebind.
+        for nid_str, data in state["models"].items():
+            self.models[int(nid_str)] = QLearningModel.from_dict(
+                data, self.config.qlearning
+            )
+        pp.aggregation.exchanges = int(state["aggregation_exchanges"])
+        cons = pp.consolidation
+        cons_state = state["consolidation"]
+        cons.exchanges = int(cons_state["exchanges"])
+        cons.rejections_by_q_in = int(cons_state["rejections_by_q_in"])
+        cons.rejections_by_capacity = int(cons_state["rejections_by_capacity"])
+        cons.switch_offs = int(cons_state["switch_offs"])
+        if self.cyclon is not None:
+            self.cyclon.load_state_dict(state["cyclon"])
 
 
 class _PhaseDispatcher(Protocol):

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.qtable import QTable
 from repro.core.rewards import RewardIn, RewardOut
+from repro.util.io import atomic_write_json
 from repro.util.validation import check_fraction
 
 __all__ = ["QLearningConfig", "QLearningModel"]
@@ -135,8 +136,13 @@ class QLearningModel:
         return out
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the learned Q-maps to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict()))
+        """Write the learned Q-maps to a JSON file (atomically).
+
+        A crash mid-write must never leave a truncated model on disk —
+        Q-maps are the durable state section IV-D's pause/resume relies
+        on — so the write goes through the tmp-then-rename helper.
+        """
+        atomic_write_json(self.to_dict(), path)
 
     @classmethod
     def load(cls, path: Union[str, Path],

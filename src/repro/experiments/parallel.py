@@ -44,6 +44,7 @@ from repro.experiments.runner import (
     POLICY_NAMES,
     TraceCache,
     make_policy,
+    resume_policy,
     run_policy,
 )
 from repro.experiments.scenarios import Scenario
@@ -128,24 +129,64 @@ def _run_unit(
     policy_name: str,
     seed: int,
     policy_kwargs: Optional[dict],
+    result_path: Optional[Path] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Path] = None,
+    resume_from: Optional[Path] = None,
 ) -> Tuple[RunResult, float]:
     """Execute one (scenario, policy, repetition) unit (pool target).
 
     Returns ``(result, elapsed_s)``.  The wall time travels beside the
     result, never inside it — ``RunResult`` stays deterministic so the
     golden digests are unaffected by benchmarking.
+
+    With a ``result_path``, the finished result is persisted (atomic
+    write) *in the worker*, so a sweep killed mid-flight keeps every
+    completed unit.  ``checkpoint_path``/``checkpoint_every`` route
+    through the runner's checkpoint cadence for crash-resumable cells;
+    ``resume_from`` continues a partial cell from its checkpoint instead
+    of starting over.
     """
+    from repro.experiments.store import save_results  # avoid import cycle
+
     global _WORKER_TRACE_CACHE
     if _WORKER_TRACE_CACHE is None:
         _WORKER_TRACE_CACHE = TraceCache(maxsize=2)
     trace = _WORKER_TRACE_CACHE.get(scenario, seed)
     policy = make_policy(policy_name, **(policy_kwargs or {}))
     start = time.perf_counter()
-    result = run_policy(scenario, policy, seed, trace=trace)
-    return result, time.perf_counter() - start
+    if resume_from is not None:
+        result = resume_policy(
+            resume_from,
+            policy,
+            trace=trace,
+            checkpoint_every=checkpoint_every,
+            checkpoint_to=checkpoint_path,
+        )
+    else:
+        result = run_policy(
+            scenario,
+            policy,
+            seed,
+            trace=trace,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+    elapsed = time.perf_counter() - start
+    if result_path is not None:
+        save_results([result], result_path)
+    return result, elapsed
 
 
 # -- driver side -------------------------------------------------------------
+
+def _unit_paths(
+    store: Path, label: str, policy: str, seed: int
+) -> Tuple[Path, Path]:
+    """(result, checkpoint) paths of one sweep unit in the store."""
+    stem = f"{label}__{policy}__{seed}"
+    return store / f"{stem}.result.json", store / f"{stem}.ckpt.json"
+
 
 def _repetitions_of(scenario: Scenario, repetitions: Optional[int]) -> int:
     reps = scenario.repetitions if repetitions is None else repetitions
@@ -196,6 +237,9 @@ def run_sweep(
     jobs: Optional[int] = None,
     policy_kwargs: Optional[Dict[str, dict]] = None,
     bench_out: Optional[Union[str, Path]] = None,
+    store_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
 ) -> SweepResults:
     """Run every (scenario, policy) with the scenario's repetitions.
 
@@ -206,7 +250,33 @@ def run_sweep(
     ``bench_out`` additionally writes a ``kind="sweep"`` benchmark
     summary (per-cell wall time + per-cell metric means) to the given
     path; it changes no result bit.
+
+    ``store_dir`` persists each unit's result to
+    ``<label>__<policy>__<seed>.result.json`` *as it completes* (in the
+    worker, atomically); ``checkpoint_every`` additionally checkpoints
+    each in-flight unit every N evaluation rounds to a sibling
+    ``.ckpt.json``.  ``resume=True`` (requires ``store_dir``) then turns
+    a killed sweep into an incremental one: completed units are loaded
+    from the store instead of re-run, partial units continue from their
+    latest checkpoint, and only missing units start fresh — the merged
+    results are equal to a from-scratch sweep (JSON round-trips floats
+    exactly).
     """
+    from repro.experiments.store import load_results, save_results  # import cycle
+
+    if resume and store_dir is None:
+        raise ValueError("resume=True requires store_dir")
+    if checkpoint_every is not None:
+        if store_dir is None:
+            raise ValueError("checkpoint_every requires store_dir")
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be > 0, got {checkpoint_every}"
+            )
+    store = Path(store_dir) if store_dir is not None else None
+    if store is not None:
+        store.mkdir(parents=True, exist_ok=True)
+
     jobs = resolve_jobs(jobs)
     kwargs_of = policy_kwargs or {}
     out = SweepResults(scenarios=list(scenarios), policies=tuple(policies))
@@ -226,15 +296,60 @@ def run_sweep(
             for policy in policies:
                 units.append((scenario, policy, rep))
 
+    def unit_plan(
+        scenario: Scenario, policy: str, seed: int
+    ) -> Tuple[Optional[Path], Optional[Path], Optional[Path]]:
+        """(result_path, checkpoint_path, resume_from) for one unit."""
+        if store is None:
+            return None, None, None
+        result_path, ckpt_path = _unit_paths(store, scenario.label(), policy, seed)
+        resume_from = ckpt_path if (resume and ckpt_path.exists()) else None
+        return (
+            result_path,
+            ckpt_path if checkpoint_every is not None else None,
+            resume_from,
+        )
+
+    pending: List[Tuple[Scenario, str, int]] = []
+    for scenario, policy, rep in units:
+        seed = scenario.seed_of(rep)
+        if store is not None and resume:
+            result_path, _ = _unit_paths(store, scenario.label(), policy, seed)
+            if result_path.exists():
+                out.runs[(scenario.label(), policy)][rep] = load_results(
+                    result_path
+                )[0]
+                continue
+        pending.append((scenario, policy, rep))
+
     if jobs == 1:
         cache = TraceCache(maxsize=2)
-        for scenario, policy, rep in units:
+        for scenario, policy, rep in pending:
             seed = scenario.seed_of(rep)
+            result_path, ckpt_path, resume_from = unit_plan(scenario, policy, seed)
             start = time.perf_counter()
             try:
                 trace = cache.get(scenario, seed)
                 policy_obj = make_policy(policy, **kwargs_of.get(policy, {}))
-                result = run_policy(scenario, policy_obj, seed, trace=trace)
+                if resume_from is not None:
+                    result = resume_policy(
+                        resume_from,
+                        policy_obj,
+                        trace=trace,
+                        checkpoint_every=checkpoint_every,
+                        checkpoint_to=ckpt_path,
+                    )
+                else:
+                    result = run_policy(
+                        scenario,
+                        policy_obj,
+                        seed,
+                        trace=trace,
+                        checkpoint_every=checkpoint_every,
+                        checkpoint_path=ckpt_path,
+                    )
+                if result_path is not None:
+                    save_results([result], result_path)
             except Exception as exc:
                 raise SweepExecutionError(
                     scenario.label(), policy, seed
@@ -245,13 +360,17 @@ def run_sweep(
     else:
         pool = ProcessPoolExecutor(max_workers=jobs)
         try:
-            futures = {
-                pool.submit(
-                    _run_unit, scenario, policy, scenario.seed_of(rep),
-                    kwargs_of.get(policy),
-                ): (scenario, policy, rep)
-                for scenario, policy, rep in units
-            }
+            futures = {}
+            for scenario, policy, rep in pending:
+                seed = scenario.seed_of(rep)
+                result_path, ckpt_path, resume_from = unit_plan(
+                    scenario, policy, seed
+                )
+                fut = pool.submit(
+                    _run_unit, scenario, policy, seed, kwargs_of.get(policy),
+                    result_path, checkpoint_every, ckpt_path, resume_from,
+                )
+                futures[fut] = (scenario, policy, rep)
             for fut in as_completed(futures):
                 scenario, policy, rep = futures[fut]
                 try:

@@ -17,7 +17,8 @@ Run structure::
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 
 from repro.baselines.base import ConsolidationPolicy
@@ -25,6 +26,7 @@ from repro.baselines.bfd import bfd_baseline_active_pms
 from repro.baselines.ecocloud import EcoCloudPolicy
 from repro.baselines.grmp import GrmpPolicy
 from repro.baselines.pabfd import PabfdPolicy
+from repro.checkpoint import RunEnv, restore_checkpoint, save_checkpoint
 from repro.core.glap import GlapPolicy
 from repro.datacenter.cluster import DataCenter
 from repro.experiments.scenarios import Scenario
@@ -52,6 +54,7 @@ __all__ = [
     "build_environment",
     "TraceCache",
     "run_policy",
+    "resume_policy",
     "run_repetitions",
 ]
 
@@ -181,6 +184,105 @@ class TraceCache:
         return len(self._entries)
 
 
+def _validate_checkpoint_args(
+    checkpoint_every: Optional[int],
+    checkpoint_path: Optional[Union[str, Path]],
+) -> None:
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be > 0, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+
+
+def _run_eval(
+    env: RunEnv,
+    round_hook: Optional[Callable[[int, DataCenter, Simulation], None]] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+) -> RunResult:
+    """Drive the evaluation loop of ``env`` to completion and assemble the
+    result.
+
+    Starts at ``env.eval_rounds_done`` (0 for a fresh run, the resume
+    point for a restored one) so a checkpoint-and-resume run executes
+    exactly the rounds an uninterrupted run would.  Checkpoints are
+    saved at evaluation-round boundaries — after the round's metrics
+    sample and ``round_hook`` — every ``checkpoint_every`` completed
+    rounds, plus a final one when ``checkpoint_path`` is set at all.
+    """
+    _validate_checkpoint_args(checkpoint_every, checkpoint_path)
+    scenario, policy, dc, sim = env.scenario, env.policy, env.dc, env.sim
+    controller = env.controller
+    collector = env.collector
+    if collector is None:
+        raise ValueError("RunEnv has no metrics collector; cannot run evaluation")
+    prof = sim.profiler
+
+    last_saved = None
+    for r in range(env.eval_rounds_done, scenario.rounds):
+        with prof.phase("advance_round"):
+            dc.advance_round()
+        if controller is not None:
+            with prof.phase("faults"):
+                controller.before_round(dc, sim)
+        with prof.phase("engine_round"):
+            sim.run_round()
+        with prof.phase("policy_step"):
+            policy.step(dc, sim)
+        with prof.phase("metrics"):
+            collector.sample()
+        if round_hook is not None:
+            round_hook(r, dc, sim)
+        env.eval_rounds_done = r + 1
+        if (
+            checkpoint_every is not None
+            and env.eval_rounds_done % checkpoint_every == 0
+        ):
+            save_checkpoint(env, checkpoint_path)  # type: ignore[arg-type]
+            last_saved = env.eval_rounds_done
+    if checkpoint_path is not None and last_saved != env.eval_rounds_done:
+        save_checkpoint(env, checkpoint_path)
+
+    sim.finish()  # exactly one on_simulation_end per logical run
+    result = RunResult(
+        policy=policy.name,
+        n_pms=scenario.n_pms,
+        n_vms=scenario.n_vms,
+        rounds=scenario.rounds,
+        seed=env.seed,
+        slavo=slavo(dc.pms),
+        slalm=slalm(dc.vms),
+        total_migrations=dc.migration_count(),
+        migration_energy_j=dc.total_migration_energy_j(),
+        final_active=dc.active_count(),
+        final_overloaded=dc.overloaded_count(),
+        bfd_baseline_pms=bfd_baseline_active_pms(dc),
+        series={name: collector.get(name) for name in MetricsCollector.SERIES},
+    )
+    result.slav = result.slavo * result.slalm
+    # Left-Riemann integral of the end-of-round power snapshots.
+    result.dc_energy_j = float(
+        collector.get("dc_power").sum() * scenario.round_seconds
+    )
+    # Chaos diagnostics live in ``extras`` so the metric fields proper
+    # stay bit-identical between a zero-fault and a plain run.
+    if controller is not None:
+        result.extras.update(controller.stats_dict())
+        result.extras["messages_dropped"] = float(sim.network.stats.messages_dropped)
+        result.extras["messages_sent"] = float(sim.network.stats.messages_sent)
+        result.extras["final_failed_nodes"] = float(
+            sum(1 for n in sim.nodes if n.is_failed)
+        )
+    if env.invariant_observer is not None:
+        result.extras["invariant_rounds_checked"] = float(
+            env.invariant_observer.rounds_checked
+        )
+    return result
+
+
 def run_policy(
     scenario: Scenario,
     policy: ConsolidationPolicy,
@@ -191,6 +293,8 @@ def run_policy(
     check_invariants: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
     profiler: Optional[NullProfiler] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
 ) -> RunResult:
     """Run one policy through warmup + evaluation; returns the result.
 
@@ -213,7 +317,14 @@ def run_policy(
     :mod:`repro.obs.profiler`).  Both default to shared no-ops, never
     consume randomness, and leave every result bit-identical — the
     golden suite asserts this even with tracing *enabled*.
+
+    ``checkpoint_path`` enables checkpointing: a snapshot of complete
+    run state is written there atomically every ``checkpoint_every``
+    evaluation rounds (plus once at the end), resumable bit-identically
+    via :func:`resume_policy`.  ``checkpoint_every`` without a path is
+    an error.
     """
+    _validate_checkpoint_args(checkpoint_every, checkpoint_path)
     dc, sim, streams = build_simulation(scenario, seed, trace=trace)
 
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -256,55 +367,60 @@ def run_policy(
     policy.end_warmup(dc, sim)
     dc.reset_accounting()
 
-    collector = MetricsCollector(dc)
-    for r in range(scenario.rounds):
-        with prof.phase("advance_round"):
-            dc.advance_round()
-        if controller is not None:
-            with prof.phase("faults"):
-                controller.before_round(dc, sim)
-        with prof.phase("engine_round"):
-            sim.run_round()
-        with prof.phase("policy_step"):
-            policy.step(dc, sim)
-        with prof.phase("metrics"):
-            collector.sample()
-        if round_hook is not None:
-            round_hook(r, dc, sim)
-
-    sim.finish()  # exactly one on_simulation_end per logical run
-    result = RunResult(
-        policy=policy.name,
-        n_pms=scenario.n_pms,
-        n_vms=scenario.n_vms,
-        rounds=scenario.rounds,
+    env = RunEnv(
+        scenario=scenario,
+        policy=policy,
         seed=seed,
-        slavo=slavo(dc.pms),
-        slalm=slalm(dc.vms),
-        total_migrations=dc.migration_count(),
-        migration_energy_j=dc.total_migration_energy_j(),
-        final_active=dc.active_count(),
-        final_overloaded=dc.overloaded_count(),
-        bfd_baseline_pms=bfd_baseline_active_pms(dc),
-        series={name: collector.get(name) for name in MetricsCollector.SERIES},
+        dc=dc,
+        sim=sim,
+        streams=streams,
+        collector=MetricsCollector(dc),
+        controller=controller,
+        invariant_observer=observer,
     )
-    result.slav = result.slavo * result.slalm
-    # Left-Riemann integral of the end-of-round power snapshots.
-    result.dc_energy_j = float(
-        collector.get("dc_power").sum() * scenario.round_seconds
+    return _run_eval(
+        env,
+        round_hook=round_hook,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
     )
-    # Chaos diagnostics live in ``extras`` so the metric fields proper
-    # stay bit-identical between a zero-fault and a plain run.
-    if controller is not None:
-        result.extras.update(controller.stats_dict())
-        result.extras["messages_dropped"] = float(sim.network.stats.messages_dropped)
-        result.extras["messages_sent"] = float(sim.network.stats.messages_sent)
-        result.extras["final_failed_nodes"] = float(
-            sum(1 for n in sim.nodes if n.is_failed)
-        )
-    if observer is not None:
-        result.extras["invariant_rounds_checked"] = float(observer.rounds_checked)
-    return result
+
+
+def resume_policy(
+    checkpoint_path: Union[str, Path],
+    policy: ConsolidationPolicy,
+    round_hook: Optional[Callable[[int, DataCenter, Simulation], None]] = None,
+    trace: Optional[TraceSource] = None,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[NullProfiler] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_to: Optional[Union[str, Path]] = None,
+) -> RunResult:
+    """Resume a run from a checkpoint and drive it to completion.
+
+    ``policy`` must be a fresh instance configured exactly like the
+    original run's (same name and constructor arguments) — the
+    checkpoint carries all *mutable* policy state but configuration is
+    the caller's provenance.  The returned result is bit-identical to
+    what the uninterrupted run would have produced, including with
+    faults and enabled tracing.
+
+    ``checkpoint_to`` (default: ``checkpoint_path``) is where continued
+    checkpoints are written when ``checkpoint_every`` is set; a final
+    checkpoint is written there whenever either is set.
+    """
+    env = restore_checkpoint(
+        checkpoint_path, policy, trace=trace, tracer=tracer, profiler=profiler
+    )
+    target = checkpoint_to if checkpoint_to is not None else (
+        checkpoint_path if checkpoint_every is not None else None
+    )
+    return _run_eval(
+        env,
+        round_hook=round_hook,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=target,
+    )
 
 
 def run_repetitions(

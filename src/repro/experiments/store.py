@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.experiments.figures import SweepResults
 from repro.metrics.report import RunResult
+from repro.util.io import atomic_write_json
 
 __all__ = ["save_results", "load_results", "save_sweep", "load_sweep"]
 
@@ -72,7 +73,7 @@ def _run_from_dict(data: dict) -> RunResult:
 def save_results(runs: List[RunResult], path: Union[str, Path]) -> None:
     """Archive runs to a JSON file."""
     payload = {"format": _FORMAT, "runs": [_run_to_dict(r) for r in runs]}
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_json(payload, path)
 
 
 def load_results(path: Union[str, Path]) -> List[RunResult]:
@@ -97,7 +98,7 @@ def save_sweep(sweep: SweepResults, path: Union[str, Path]) -> None:
             for (label, policy), runs in sweep.runs.items()
         },
     }
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_json(payload, path)
 
 
 def load_sweep(path: Union[str, Path]) -> SweepResults:

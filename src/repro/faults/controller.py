@@ -141,6 +141,44 @@ class FaultController:
                     round_index + self.plan.churn_downtime_rounds
                 )
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """JSON-safe progress state (the plan itself lives in the scenario).
+
+        The active phase is stored as an index into ``plan.phases`` so
+        the restored controller holds the *same* phase object and its
+        value-equality skip in ``_apply_phase`` keeps working (no
+        spurious ``phase_changes`` increment on the first post-resume
+        round).
+        """
+        active = None
+        if self._active_phase is not None:
+            active = self.plan.phases.index(self._active_phase)
+        return {
+            "active_phase": active,
+            "churn_down": {str(nid): when for nid, when in self._churn_down.items()},
+            "crashes_injected": self.crashes_injected,
+            "restarts_injected": self.restarts_injected,
+            "phase_changes": self.phase_changes,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore progress captured by :meth:`state_dict` (post-install).
+
+        The network's loss/partition configuration is restored
+        separately via ``Network.load_state_dict`` — this method only
+        re-arms the controller's schedule position and counters.
+        """
+        idx = state["active_phase"]
+        self._active_phase = None if idx is None else self.plan.phases[idx]
+        self._churn_down = {
+            int(nid): int(when) for nid, when in state["churn_down"].items()
+        }
+        self.crashes_injected = int(state["crashes_injected"])
+        self.restarts_injected = int(state["restarts_injected"])
+        self.phase_changes = int(state["phase_changes"])
+
     # -- reporting ------------------------------------------------------------
 
     def stats_dict(self) -> Dict[str, float]:

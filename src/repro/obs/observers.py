@@ -36,6 +36,20 @@ class OverloadTraceObserver(Observer):
         self.tracer = tracer
         self._overloaded: FrozenSet[int] = frozenset()
 
+    def rearm(self) -> None:
+        """Re-derive the overloaded set from current data-centre state.
+
+        Used when resuming from a checkpoint: the set is recomputable, so
+        it is not serialised — re-arming after state restore makes the
+        first post-resume round diff against the same baseline an
+        uninterrupted run would have.
+        """
+        self._overloaded = frozenset(
+            pm.pm_id
+            for pm in self.dc.pms
+            if not pm.asleep and pm.is_overloaded()
+        )
+
     def observe(self, round_index: int, sim: "Simulation") -> None:
         if not self.tracer.enabled:
             return

@@ -28,6 +28,8 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
+from repro.util.io import atomic_write_text
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.report import RunResult
     from repro.obs.profiler import PhaseProfiler
@@ -115,12 +117,9 @@ def sweep_summary(
 
 
 def write_summary(summary: Dict[str, Any], path: Union[str, Path]) -> None:
-    """Write a summary atomically enough for CI (tmp file + rename)."""
+    """Write a summary atomically (tmp file + rename)."""
     _validate(summary, where=str(path))
-    target = Path(path)
-    tmp = target.with_suffix(target.suffix + ".tmp")
-    tmp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
-    tmp.replace(target)
+    atomic_write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n", path)
 
 
 def load_summary(path: Union[str, Path]) -> Dict[str, Any]:

@@ -180,6 +180,23 @@ class CyclonProtocol(Protocol, PeerSampler):
         peer_view.merge_received(received, sent=reply)
         return reply
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, List[List[int]]]:
+        """Every node's view as ordered ``[node_id, age]`` pairs."""
+        return {str(nid): view.state_list() for nid, view in self._views.items()}
+
+    def load_state_dict(self, state: Dict[str, List[List[int]]]) -> None:
+        """Restore views captured by :meth:`state_dict` (RNG state is
+        managed separately, by the owning :class:`RngStreams`)."""
+        for nid_str, entries in state.items():
+            nid = int(nid_str)
+            view = self._views.get(nid)
+            if view is None:
+                view = PartialView(nid, self.view_size)
+                self._views[nid] = view
+            view.load_state_list(entries)
+
     # -- diagnostics --------------------------------------------------------------
 
     def in_degree_distribution(self) -> Dict[int, int]:

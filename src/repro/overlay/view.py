@@ -137,6 +137,35 @@ class PartialView:
             else:
                 break  # full and nothing replaceable
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_list(self) -> List[List[int]]:
+        """JSON-safe ``[node_id, age]`` pairs, *in insertion order*.
+
+        Insertion order is semantically load-bearing: it is the pool
+        order :meth:`sample` draws from, so a checkpoint that reordered
+        entries would change post-restore shuffle randomness.
+        """
+        return [[e.node_id, e.age] for e in self._entries.values()]
+
+    def load_state_list(self, entries: Sequence[Sequence[int]]) -> None:
+        """Replace the view content with ``entries`` (inverse of
+        :meth:`state_list`), validating owner/duplicate/capacity."""
+        if len(entries) > self.capacity:
+            raise ValueError(
+                f"view of {self.owner_id}: {len(entries)} entries exceed "
+                f"capacity {self.capacity}"
+            )
+        rebuilt: Dict[int, ViewEntry] = {}
+        for nid, age in entries:
+            nid = int(nid)
+            if nid == self.owner_id:
+                raise ValueError(f"view of {self.owner_id} contains its owner")
+            if nid in rebuilt:
+                raise ValueError(f"view of {self.owner_id}: duplicate entry {nid}")
+            rebuilt[nid] = ViewEntry(nid, int(age))
+        self._entries = rebuilt
+
     def __repr__(self) -> str:
         ids = sorted(self._entries)
         return f"PartialView(owner={self.owner_id}, size={len(ids)}/{self.capacity}, ids={ids})"

@@ -192,6 +192,28 @@ class Simulation:
         """Whether :meth:`finish` has been called."""
         return self._finished
 
+    def resume_at(self, round_index: int) -> None:
+        """Reposition the round counter when restoring from a checkpoint.
+
+        The engine itself is stateless beyond the counter (its RNG is an
+        externally-owned stream whose state the checkpoint restores
+        separately), so resuming is just: rebuild the population and
+        protocols deterministically, overwrite their state, then call
+        this so the next :meth:`run_round` executes as round
+        ``round_index``.  Refuses to rewind a simulation that has
+        already run or finished — resume targets a *fresh* engine.
+        """
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        if self._finished:
+            raise RuntimeError("cannot resume a finished simulation")
+        if self.round_index > round_index:
+            raise RuntimeError(
+                f"cannot rewind round {self.round_index} to {round_index}; "
+                "resume must start from a freshly built simulation"
+            )
+        self.round_index = round_index
+
     # -- convenience -----------------------------------------------------------
 
     def wake(self, node_id: int, *, recover: bool = False) -> None:

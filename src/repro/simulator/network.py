@@ -230,3 +230,57 @@ class Network:
 
     def reset_stats(self) -> None:
         self.stats.reset()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe fault-model configuration + traffic counters.
+
+        The RNG is *not* captured here: when a fault controller is
+        installed the network shares the ``"faults"`` stream, whose
+        state :class:`~repro.util.rng.RngStreams` checkpoints; without
+        one the loss probability is zero and the generator is never
+        consulted.
+        """
+        return {
+            "loss_probability": self.loss_probability,
+            "loss_per_kind": dict(self.loss_per_kind),
+            "partition": (
+                {str(nid): gidx for nid, gidx in self._partition.items()}
+                if self._partition is not None
+                else None
+            ),
+            "stats": {
+                "messages_sent": self.stats.messages_sent,
+                "messages_dropped": self.stats.messages_dropped,
+                "bytes_sent": self.stats.bytes_sent,
+                "per_kind": dict(self.stats.per_kind),
+                "dropped_per_kind": dict(self.stats.dropped_per_kind),
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore configuration/counters captured by :meth:`state_dict`.
+
+        Needed on resume because the fault controller skips
+        reconfiguration while the active phase is unchanged — the
+        network must already be in the phase's configured state.
+        """
+        self.loss_probability = check_probability(
+            float(state["loss_probability"]), "loss_probability"
+        )
+        self.loss_per_kind = _validate_loss_per_kind(state["loss_per_kind"])
+        partition = state["partition"]
+        self._partition = (
+            {int(nid): int(gidx) for nid, gidx in partition.items()}
+            if partition is not None
+            else None
+        )
+        stats = state["stats"]
+        self.stats.messages_sent = int(stats["messages_sent"])
+        self.stats.messages_dropped = int(stats["messages_dropped"])
+        self.stats.bytes_sent = int(stats["bytes_sent"])
+        self.stats.per_kind = {str(k): int(v) for k, v in stats["per_kind"].items()}
+        self.stats.dropped_per_kind = {
+            str(k): int(v) for k, v in stats["dropped_per_kind"].items()
+        }

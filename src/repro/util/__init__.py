@@ -5,6 +5,7 @@ by every other subpackage.  Nothing here knows about data centres or
 gossip protocols.
 """
 
+from repro.util.io import atomic_write_json, atomic_write_text
 from repro.util.rng import RngStreams, derive_seed
 from repro.util.stats import (
     RunningMean,
@@ -24,6 +25,8 @@ from repro.util.validation import (
 __all__ = [
     "RngStreams",
     "derive_seed",
+    "atomic_write_json",
+    "atomic_write_text",
     "RunningMean",
     "RunningStats",
     "cosine_similarity",

@@ -1,0 +1,48 @@
+"""Atomic file writes.
+
+Durable artifacts — learned Q-models, checkpoints, result archives,
+bench summaries — must never be observable half-written: a crash during
+a plain ``write_text`` leaves a truncated file that later loads as
+corrupt JSON, silently poisoning a resume.  The cure is the standard
+write-to-temp-then-rename dance: POSIX ``rename(2)`` within one
+directory is atomic, so readers see either the complete old content or
+the complete new content, never a mixture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(text: str, path: Union[str, Path]) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + rename).
+
+    The temporary file lives next to the target (same filesystem, so
+    the final ``replace`` is a true atomic rename) under a ``.tmp``
+    suffix.  On any failure mid-write the target is left untouched; a
+    stale ``.tmp`` from a previous crash is simply overwritten.
+    """
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    try:
+        tmp.write_text(text)
+        tmp.replace(target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_json(payload: Any, path: Union[str, Path], **dumps_kwargs: Any) -> None:
+    """Serialise ``payload`` as JSON and write it atomically.
+
+    ``dumps_kwargs`` pass through to :func:`json.dumps` (``indent``,
+    ``sort_keys``, ...).  Serialisation happens *before* the temp file
+    is opened, so an unserialisable payload never disturbs the target
+    or leaves a temp file behind.
+    """
+    text = json.dumps(payload, **dumps_kwargs)
+    atomic_write_text(text, path)

@@ -14,12 +14,17 @@ by a stable hash of the stream name, so:
 * the same ``(root_seed, name)`` pair always yields the same stream,
 * distinct names yield statistically independent streams,
 * adding a new stream never changes existing ones.
+
+The registry also supports checkpointing: every generator handed out is
+registered under its name, and :meth:`RngStreams.state_dict` /
+:meth:`RngStreams.load_state_dict` round-trip the exact bit-generator
+state of every registered stream.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterator
+from typing import Dict, List
 
 import numpy as np
 
@@ -56,11 +61,20 @@ class RngStreams:
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self._seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        # crc32 tag -> stream name, for collision detection.  Two
+        # distinct names hashing to the same tag would silently yield
+        # *identical* "independent" streams — a correctness bug that
+        # nothing downstream could detect.  We refuse loudly instead.
+        self._tags: Dict[int, str] = {}
 
     @property
     def seed(self) -> int:
         """The root seed all streams derive from."""
         return self._seed
+
+    def names(self) -> List[str]:
+        """Names of every registered stream, in registration order."""
+        return list(self._streams)
 
     def get(self, name: str) -> np.random.Generator:
         """Return (creating if necessary) the generator for ``name``."""
@@ -68,25 +82,66 @@ class RngStreams:
             raise ValueError("stream name must be a non-empty string")
         gen = self._streams.get(name)
         if gen is None:
+            self._check_tag(name)
             gen = np.random.default_rng(derive_seed(self._seed, name))
             self._streams[name] = gen
         return gen
 
-    def spawn(self, name: str, count: int) -> Iterator[np.random.Generator]:
-        """Yield ``count`` independent generators under the ``name`` family.
+    def spawn(self, name: str, count: int) -> List[np.random.Generator]:
+        """Return ``count`` independent generators under the ``name`` family.
 
         Useful for per-node randomness: ``streams.spawn("node", n_nodes)``
         gives each node its own generator so per-node decisions do not
         depend on node iteration order.
+
+        Each generator is registered under ``"{name}/{i}"`` — visible to
+        :meth:`names`, :meth:`reset` and :meth:`state_dict` like any
+        stream handed out by :meth:`get` — and the list is materialized
+        eagerly, so partial consumption can no longer silently drop
+        streams.  Re-spawning an existing family returns the *same*
+        generator objects (cached, like :meth:`get`).  Seed derivation
+        is byte-identical to the historical lazy version.
         """
+        if not name:
+            raise ValueError("stream name must be a non-empty string")
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
-        for i in range(count):
-            yield np.random.default_rng(derive_seed(self._seed, f"{name}/{i}"))
+        return [self.get(f"{name}/{i}") for i in range(count)]
+
+    def state_dict(self) -> Dict[str, Dict]:
+        """Bit-generator state of every registered stream, by name.
+
+        The values are the (JSON-serialisable) ``bit_generator.state``
+        dicts NumPy exposes; restoring them via :meth:`load_state_dict`
+        reproduces each stream's future draws exactly.
+        """
+        return {name: gen.bit_generator.state for name, gen in self._streams.items()}
+
+    def load_state_dict(self, states: Dict[str, Dict]) -> None:
+        """Restore stream states captured by :meth:`state_dict`.
+
+        Streams are created (registered) as needed, then their
+        bit-generator state is overwritten — any draws consumed while
+        rebuilding the run up to the checkpoint become irrelevant.
+        """
+        for name, state in states.items():
+            self.get(name).bit_generator.state = state
 
     def reset(self) -> None:
         """Drop all cached streams; subsequent ``get`` calls start fresh."""
         self._streams.clear()
+        self._tags.clear()
+
+    def _check_tag(self, name: str) -> None:
+        tag = zlib.crc32(name.encode("utf-8"))
+        existing = self._tags.get(tag)
+        if existing is not None and existing != name:
+            raise ValueError(
+                f"stream name {name!r} collides with registered stream "
+                f"{existing!r} (identical CRC32 tag {tag}); the two would "
+                "share a seed — rename one of them"
+            )
+        self._tags[tag] = name
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RngStreams(seed={self._seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,190 @@
+"""Sweep persistence and resume.
+
+``run_sweep(store_dir=...)`` persists each (scenario, policy, seed)
+unit as it completes; ``resume=True`` then re-runs only what is missing
+and continues partial cells from their checkpoints.  The contract under
+test: a killed-and-resumed sweep merges to results equal to a sweep
+that never died (floats round-trip JSON exactly, so equality is exact).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.glap import GlapConfig
+from repro.experiments.parallel import _unit_paths, run_sweep
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SCENARIO = Scenario(
+    n_pms=8,
+    ratio=2,
+    rounds=8,
+    warmup_rounds=10,
+    repetitions=2,
+    trace_params=GoogleTraceParams(rounds_per_day=10),
+)
+POLICIES = ("GLAP", "EcoCloud")
+KWARGS = {"GLAP": {"config": GlapConfig(aggregation_rounds=4)}}
+
+
+def _assert_sweeps_equal(a, b):
+    assert set(a.runs) == set(b.runs)
+    for key in a.runs:
+        assert len(a.runs[key]) == len(b.runs[key])
+        for x, y in zip(a.runs[key], b.runs[key]):
+            for field in (
+                "policy", "seed", "slavo", "slalm", "slav", "total_migrations",
+                "migration_energy_j", "dc_energy_j", "final_active",
+                "final_overloaded", "bfd_baseline_pms",
+            ):
+                assert getattr(x, field) == getattr(y, field), (key, field)
+            for name in x.series:
+                assert np.array_equal(
+                    np.asarray(x.series[name]), np.asarray(y.series[name])
+                ), (key, name)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_sweep([SCENARIO], policies=POLICIES, policy_kwargs=KWARGS)
+
+
+def test_resume_requires_store_dir():
+    with pytest.raises(ValueError, match="store_dir"):
+        run_sweep([SCENARIO], policies=POLICIES, resume=True)
+
+
+def test_checkpoint_every_requires_store_dir():
+    with pytest.raises(ValueError, match="store_dir"):
+        run_sweep([SCENARIO], policies=POLICIES, checkpoint_every=2)
+
+
+def test_store_persists_every_unit(tmp_path, baseline):
+    store = tmp_path / "store"
+    out = run_sweep(
+        [SCENARIO], policies=POLICIES, policy_kwargs=KWARGS, store_dir=store
+    )
+    _assert_sweeps_equal(baseline, out)
+    results = sorted(p.name for p in store.glob("*.result.json"))
+    assert len(results) == len(POLICIES) * SCENARIO.repetitions
+
+
+def test_resume_skips_completed_resumes_partial_runs_missing(tmp_path, baseline,
+                                                             monkeypatch):
+    store = tmp_path / "store"
+    run_sweep(
+        [SCENARIO],
+        policies=POLICIES,
+        policy_kwargs=KWARGS,
+        store_dir=store,
+        checkpoint_every=4,
+    )
+    # Forge three cell states: one fully missing, one partial (checkpoint
+    # only), the rest complete.
+    missing_r, missing_c = _unit_paths(store, SCENARIO.label(), "GLAP",
+                                       SCENARIO.seed_of(0))
+    partial_r, partial_c = _unit_paths(store, SCENARIO.label(), "EcoCloud",
+                                       SCENARIO.seed_of(1))
+    missing_r.unlink()
+    missing_c.unlink()
+    partial_r.unlink()
+    assert partial_c.exists()
+
+    import repro.experiments.parallel as parallel
+
+    fresh_calls, resume_calls = [], []
+    real_run, real_resume = parallel.run_policy, parallel.resume_policy
+
+    def counting_run(scenario, policy, seed, **kw):
+        fresh_calls.append((policy.name, seed))
+        return real_run(scenario, policy, seed, **kw)
+
+    def counting_resume(path, policy, **kw):
+        resume_calls.append(policy.name)
+        return real_resume(path, policy, **kw)
+
+    monkeypatch.setattr(parallel, "run_policy", counting_run)
+    monkeypatch.setattr(parallel, "resume_policy", counting_resume)
+
+    out = run_sweep(
+        [SCENARIO],
+        policies=POLICIES,
+        policy_kwargs=KWARGS,
+        store_dir=store,
+        checkpoint_every=4,
+        resume=True,
+    )
+    _assert_sweeps_equal(baseline, out)
+    # Only the deleted cell re-ran from scratch; only the partial one
+    # resumed; the completed cells were loaded, not recomputed.
+    assert fresh_calls == [("GLAP", SCENARIO.seed_of(0))]
+    assert resume_calls == ["EcoCloud"]
+
+
+_SWEEP_SCRIPT = """
+import sys
+sys.path.insert(0, @SRC@)
+from repro.core.glap import GlapConfig
+from repro.experiments.parallel import run_sweep
+from repro.experiments.scenarios import Scenario
+from repro.traces.google import GoogleTraceParams
+
+scenario = Scenario(
+    n_pms=8, ratio=2, rounds=8, warmup_rounds=10, repetitions=2,
+    trace_params=GoogleTraceParams(rounds_per_day=10),
+)
+run_sweep(
+    [scenario],
+    policies=("GLAP", "EcoCloud"),
+    policy_kwargs={"GLAP": {"config": GlapConfig(aggregation_rounds=4)}},
+    store_dir=sys.argv[1],
+    checkpoint_every=2,
+)
+"""
+
+
+def test_kill_mid_sweep_then_resume_equals_from_scratch(tmp_path, baseline):
+    """SIGKILL a sweep process once its store shows progress, then resume:
+    the merged results must equal the never-killed sweep's."""
+    store = tmp_path / "store"
+    script = _SWEEP_SCRIPT.replace("@SRC@", repr(str(REPO_ROOT / "src")))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, str(store)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env={**os.environ},
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished before we could kill it — still a valid resume
+            if store.exists() and any(store.glob("*.result.json")):
+                break
+            time.sleep(0.05)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    out = run_sweep(
+        [SCENARIO],
+        policies=POLICIES,
+        policy_kwargs=KWARGS,
+        store_dir=store,
+        checkpoint_every=2,
+        resume=True,
+    )
+    _assert_sweeps_equal(baseline, out)

@@ -1,0 +1,71 @@
+"""Regression: aggregation exchanges must trace *both* directions.
+
+``QAggregationProtocol.execute_round`` is push-pull — the initiator and
+the peer each receive the other's model — but it used to emit a single
+initiator-side ``q_push`` event, so traces undercounted aggregation
+traffic by exactly half and per-node flow analyses saw passive nodes as
+silent.
+"""
+
+from collections import Counter
+
+from repro.core.glap import GlapConfig
+from repro.experiments.runner import make_policy, run_policy
+from repro.experiments.scenarios import Scenario
+from repro.obs.tracer import RecordingTracer
+from repro.traces.google import GoogleTraceParams
+
+SCENARIO = Scenario(
+    n_pms=12,
+    ratio=2,
+    rounds=10,
+    warmup_rounds=15,
+    repetitions=1,
+    trace_params=GoogleTraceParams(rounds_per_day=15),
+)
+
+
+def _trace_glap_run() -> RecordingTracer:
+    tracer = RecordingTracer()
+    run_policy(
+        SCENARIO,
+        make_policy("GLAP", config=GlapConfig(aggregation_rounds=5)),
+        SCENARIO.seed_of(0),
+        tracer=tracer,
+    )
+    return tracer
+
+
+def test_every_exchange_emits_two_sided_q_push():
+    tracer = _trace_glap_run()
+    pushes = tracer.of_kind("q_push")
+    assert pushes, "aggregation phase emitted no q_push events at all"
+    assert len(pushes) % 2 == 0, "odd q_push count: one side went untraced"
+
+
+def test_q_push_events_are_symmetric():
+    """For each initiator->peer event there is the mirrored peer->initiator
+    event in the same round — counted as multisets, so repeated exchanges
+    between the same pair stay balanced too."""
+    tracer = _trace_glap_run()
+    sides = Counter(
+        (e["round"], e["node"], e["peer"]) for e in tracer.of_kind("q_push")
+    )
+    mirrored = Counter((r, peer, node) for (r, node, peer), n in sides.items()
+                       for _ in range(n))
+    assert sides == mirrored
+
+
+def test_peer_side_event_reports_peer_model_size():
+    """The peer's event carries the *peer's* model entry count (what the
+    peer pushes back), not a copy of the initiator's."""
+    tracer = _trace_glap_run()
+    by_key = {}
+    for e in tracer.of_kind("q_push"):
+        by_key.setdefault((e["round"], frozenset((e["node"], e["peer"]))), []).append(e)
+    # every paired exchange has exactly two events with swapped roles
+    for events in by_key.values():
+        assert len(events) % 2 == 0
+        nodes = {e["node"] for e in events}
+        peers = {e["peer"] for e in events}
+        assert nodes == peers

@@ -1,0 +1,108 @@
+"""Tests for repro.util.io — atomic file writes.
+
+The regression behind these tests: ``QLearningModel.save`` used to open
+the target directly, so a crash mid-``json.dump`` left a truncated,
+unloadable model behind.  Atomic writes (tmp + rename) guarantee a
+reader sees either the old complete file or the new complete file,
+never a prefix.
+"""
+
+import json
+
+import pytest
+
+from repro.core.qlearning import QLearningModel
+from repro.util.io import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text("hello\n", target)
+        assert target.read_text() == "hello\n"
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text("new", target)
+        assert target.read_text() == "new"
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text("x", target)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_interrupted_write_preserves_original(self, tmp_path, monkeypatch):
+        """Die between tmp-write and rename: the old file must survive."""
+        import pathlib
+
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+
+        real_replace = pathlib.Path.replace
+
+        def exploding_replace(self, other):
+            if str(other) == str(target):
+                raise OSError("simulated crash at rename")
+            return real_replace(self, other)
+
+        monkeypatch.setattr(pathlib.Path, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text("half-done", target)
+        assert target.read_text() == "precious"
+        # and the temporary was cleaned up
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestAtomicWriteJson:
+    def test_round_trips(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json({"a": [1.5, 2.5]}, target)
+        assert json.loads(target.read_text()) == {"a": [1.5, 2.5]}
+
+    def test_unserializable_payload_touches_nothing(self, tmp_path):
+        """Serialisation happens before the tmp file opens, so a bad
+        payload leaves no file at all — and never clobbers an old one."""
+        target = tmp_path / "out.json"
+        target.write_text('{"ok": true}')
+        with pytest.raises(TypeError):
+            atomic_write_json({"bad": object()}, target)
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestQLearningModelSaveAtomic:
+    def _model(self) -> QLearningModel:
+        model = QLearningModel()
+        model.update_out(0, 1, 2)
+        model.update_in(2, 1, 0)
+        return model
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "model.json"
+        model = self._model()
+        model.save(path)
+        assert QLearningModel.load(path).to_dict() == model.to_dict()
+
+    def test_interrupted_save_preserves_previous_model(self, tmp_path, monkeypatch):
+        """The original bug: a crash mid-save destroyed the only copy of a
+        learned model.  Now the previous file must stay loadable."""
+        import pathlib
+
+        path = tmp_path / "model.json"
+        first = self._model()
+        first.save(path)
+
+        real_replace = pathlib.Path.replace
+
+        def exploding_replace(self, other):
+            if str(other) == str(path):
+                raise OSError("simulated crash at rename")
+            return real_replace(self, other)
+
+        monkeypatch.setattr(pathlib.Path, "replace", exploding_replace)
+        second = self._model()
+        second.update_out(1, 0, 2)
+        with pytest.raises(OSError):
+            second.save(path)
+        assert QLearningModel.load(path).to_dict() == first.to_dict()
