@@ -203,6 +203,11 @@ class EcoCloudPolicy(ConsolidationPolicy):
         self.protocol = EcoCloudProtocol(dc, self.config, streams.get("ecocloud"))
         for node in sim.nodes:
             node.register("ecocloud", self.protocol)
+        if sim.telemetry.enabled:
+            sim.telemetry.register_counters(
+                "ecocloud",
+                lambda: {"switch_offs": float(self.protocol.switch_offs)},
+            )
 
     def end_warmup(self, dc: DataCenter, sim: "Simulation") -> None:
         assert self.protocol is not None, "attach() must run first"

@@ -155,6 +155,11 @@ class GrmpPolicy(ConsolidationPolicy):
         for node in sim.nodes:
             node.register("cyclon", self.cyclon)
             node.register("grmp", self.protocol)
+        if sim.telemetry.enabled:
+            sim.telemetry.register_counters(
+                "grmp",
+                lambda: {"switch_offs": float(self.protocol.switch_offs)},
+            )
 
     def end_warmup(self, dc: DataCenter, sim: "Simulation") -> None:
         assert self.protocol is not None, "attach() must run first"

@@ -280,6 +280,14 @@ class PabfdPolicy(ConsolidationPolicy):
     def attach(self, dc: DataCenter, sim: "Simulation", streams: "RngStreams",
                warmup_rounds: int) -> None:
         self.controller = PabfdController(dc, self.config)
+        if sim.telemetry.enabled:
+            sim.telemetry.register_counters(
+                "pabfd",
+                lambda: {
+                    "switch_offs": float(self.controller.switch_offs),
+                    "wake_ups": float(self.controller.wake_ups),
+                },
+            )
 
     def end_warmup(self, dc: DataCenter, sim: "Simulation") -> None:
         assert self.controller is not None, "attach() must run first"

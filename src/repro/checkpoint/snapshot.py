@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.scenarios import Scenario
     from repro.faults.controller import FaultController
     from repro.obs.profiler import NullProfiler
+    from repro.obs.telemetry import Telemetry
     from repro.obs.tracer import Tracer
     from repro.simulator.engine import Simulation
     from repro.simulator.observer import InvariantObserver
@@ -138,6 +139,9 @@ def _capture_state(env: RunEnv) -> Dict[str, Any]:
         ],
         "network": sim.network.state_dict(),
         "policy": env.policy.state_dict(),
+        "telemetry": (
+            sim.telemetry.state_dict() if sim.telemetry.enabled else None  # type: ignore[attr-defined]
+        ),
     }
     state["faults"] = (
         env.controller.state_dict() if env.controller is not None else None
@@ -314,6 +318,7 @@ def restore_checkpoint(
     trace: Optional["TraceSource"] = None,
     tracer: Optional["Tracer"] = None,
     profiler: Optional["NullProfiler"] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> RunEnv:
     """Rebuild a resumable :class:`RunEnv` from a checkpoint file.
 
@@ -323,9 +328,12 @@ def restore_checkpoint(
     learned/progress state plus the policy name for validation.
 
     ``trace`` short-circuits workload regeneration (same contract as
-    ``run_policy``); ``tracer``/``profiler`` re-enable observability on
-    the resumed run — neither consumes randomness, so resuming with or
-    without them is bit-identical.
+    ``run_policy``); ``tracer``/``profiler``/``telemetry`` re-enable
+    observability on the resumed run — none consumes randomness, so
+    resuming with or without them is bit-identical.  A telemetry
+    registry passed here is reloaded from the checkpoint's recorded
+    series (when present), so the resumed run continues every counter
+    and gauge exactly where the interrupted one stopped.
     """
     # Late imports: the runner imports this package for saving, so the
     # restore path must pull the runner in lazily.
@@ -333,6 +341,7 @@ def restore_checkpoint(
     from repro.faults.controller import FaultController
     from repro.obs.observers import OverloadTraceObserver
     from repro.obs.profiler import NULL_PROFILER
+    from repro.obs.telemetry import NULL_TELEMETRY
     from repro.obs.tracer import NULL_TRACER
     from repro.simulator.observer import InvariantObserver
 
@@ -357,10 +366,16 @@ def restore_checkpoint(
     dc, sim, streams = build_simulation(scenario, seed, trace=trace)
     the_tracer = tracer if tracer is not None else NULL_TRACER
     prof = profiler if profiler is not None else NULL_PROFILER
+    the_telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     dc.tracer = the_tracer
     sim.tracer = the_tracer
     sim.profiler = prof
     sim.network.profiler = prof
+    # Same registration order as run_policy (net, faults, policy), so a
+    # resumed registry's providers line up with the checkpointed series.
+    sim.telemetry = the_telemetry
+    if the_telemetry.enabled:
+        the_telemetry.register_counters("net", sim.network.telemetry_counters)
 
     controller: Optional[FaultController] = None
     if plan is not None:
@@ -391,6 +406,10 @@ def restore_checkpoint(
     _restore_state(env, payload["state"])
     if overload_observer is not None:
         overload_observer.rearm()
+    if the_telemetry.enabled:
+        telemetry_state = payload["state"].get("telemetry")
+        if telemetry_state is not None:
+            the_telemetry.load_state_dict(telemetry_state)  # type: ignore[attr-defined]
 
     dc.current_round = int(payload["progress"]["dc_current_round"])
     sim.resume_at(int(payload["progress"]["sim_round_index"]))

@@ -11,6 +11,14 @@
     glap figures --figure 6                              # regenerate a figure
     glap trace --vms 100 --rounds 180 --out trace.csv    # export a trace
     glap bench-compare baseline.json current.json        # CI perf gate
+    glap run --telemetry --trace --bench-out B.json      # instrumented run
+    glap analyze trace.jsonl --summary B.json            # run-health report
+    glap analyze --diff a.jsonl b.jsonl                  # trace diff
+
+``analyze`` exits 0 when the run is healthy, 1 when any invariant
+check fails (or, with ``--diff``, when the traces differ) and 2 on
+usage errors — the same convention ``bench-compare`` uses, so both
+slot into CI gates directly.
 
 Every command prints plain text; JSON output goes to ``--out`` files so
 results can be post-processed.
@@ -91,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-phase wall-time breakdown and record it in the "
         "benchmark summary",
+    )
+    p_run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record per-round counters/gauges (messages, migrations, "
+        "TD error, Q-table convergence); serialised into the benchmark "
+        "summary and any checkpoint, bit-identical to an untelemetered run",
+    )
+    p_run.add_argument(
+        "--convergence-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="with --telemetry, sample the Q-table cosine-similarity "
+        "gauge every K rounds (default 10)",
     )
     p_run.add_argument(
         "--bench-out",
@@ -256,6 +279,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="overwrite BASELINE with CURRENT (after validating it) and exit 0",
     )
 
+    p_an = sub.add_parser(
+        "analyze",
+        help="run-health report from a trace and/or benchmark summary; "
+        "exit 0 healthy / 1 violations / 2 usage error",
+    )
+    p_an.add_argument(
+        "target",
+        type=str,
+        nargs="?",
+        default=None,
+        help="JSONL trace or benchmark-summary JSON (auto-detected)",
+    )
+    p_an.add_argument(
+        "--summary",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="fold this benchmark summary's telemetry section into the "
+        "trace analysis (convergence curve, message conservation)",
+    )
+    p_an.add_argument(
+        "--min-convergence",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail (exit 1) unless the final Q-table cosine-similarity "
+        "gauge is at least X",
+    )
+    p_an.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable health report here",
+    )
+    p_an.add_argument(
+        "--diff",
+        type=str,
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="compare two traces instead; exit 1 when they differ",
+    )
+
     return parser
 
 
@@ -276,11 +343,17 @@ def _scenario_from_args(args: argparse.Namespace, reps: int = 1) -> Scenario:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.obs.profiler import PhaseProfiler
     from repro.obs.summary import run_summary, write_summary
+    from repro.obs.telemetry import TelemetryRegistry
     from repro.obs.tracer import JsonlTracer
 
     scenario = _scenario_from_args(args)
     tracer = JsonlTracer(args.trace) if args.trace is not None else None
     profiler = PhaseProfiler() if args.profile else None
+    telemetry = (
+        TelemetryRegistry(gauge_every=args.convergence_every)
+        if args.telemetry
+        else None
+    )
     start = time.perf_counter()
     try:
         if args.resume_from is not None:
@@ -289,6 +362,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 make_policy(args.policy),
                 tracer=tracer,
                 profiler=profiler,
+                telemetry=telemetry,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_to=args.checkpoint,
             )
@@ -299,6 +373,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=scenario.seed_of(0),
                 tracer=tracer,
                 profiler=profiler,
+                telemetry=telemetry,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_path=args.checkpoint,
             )
@@ -319,6 +394,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if profiler is not None:
         print()
         print(profiler.format())
+    if telemetry is not None:
+        totals = telemetry.totals()
+        line = (
+            f"telemetry: {len(telemetry.rounds)} rounds, "
+            f"{totals.get('net/sent', 0.0):.0f} msgs sent, "
+            f"{totals.get('net/dropped', 0.0):.0f} dropped"
+        )
+        final_cos = telemetry.gauge_final("glap/q_cosine")
+        if final_cos is not None:
+            line += f", Q-cosine {final_cos:.4f}"
+        print(line)
     bench_out = args.bench_out
     if bench_out is None and args.profile:
         bench_out = "BENCH_run.json"
@@ -329,6 +415,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profiler=profiler,
             warmup_rounds=scenario.warmup_rounds,
             trace_events=tracer.events_emitted if tracer is not None else None,
+            telemetry=telemetry,
         )
         write_summary(summary, bench_out)
         print(f"wrote {bench_out}")
@@ -550,6 +637,78 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 1 if any(f.fails for f in findings) else 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.analytics import (
+        diff_frames,
+        format_diff,
+        format_health_report,
+        health_report,
+        load_frame,
+    )
+    from repro.obs.summary import load_summary
+
+    def usage(message: str) -> int:
+        print(f"analyze: {message}", file=sys.stderr)
+        return 2
+
+    if args.diff is not None:
+        if args.target is not None or args.summary is not None:
+            return usage("--diff takes exactly two traces and no other input")
+        if args.min_convergence is not None:
+            return usage("--min-convergence does not apply to --diff")
+        try:
+            frame_a = load_frame(args.diff[0])
+            frame_b = load_frame(args.diff[1])
+        except (OSError, ValueError) as exc:
+            return usage(str(exc))
+        diff = diff_frames(frame_a, frame_b)
+        print(format_diff(diff))
+        if args.json is not None:
+            Path(args.json).write_text(_json.dumps(diff, indent=2, sort_keys=True))
+            print(f"wrote {args.json}")
+        return 0 if diff["identical"] else 1
+
+    if args.target is None:
+        return usage("a trace or summary path is required (or use --diff A B)")
+
+    # A benchmark summary is a single JSON document that load_summary
+    # validates; anything else is treated as a JSONL event trace.
+    frame = None
+    telemetry = None
+    try:
+        try:
+            telemetry = load_summary(args.target).get("telemetry")
+            if telemetry is None:
+                return usage(
+                    f"{args.target} is a benchmark summary without a "
+                    "telemetry section (re-run with --telemetry), and no "
+                    "trace was given"
+                )
+        except ValueError:
+            frame = load_frame(args.target)
+        if args.summary is not None:
+            telemetry = load_summary(args.summary).get("telemetry")
+            if telemetry is None:
+                return usage(
+                    f"{args.summary} has no telemetry section "
+                    "(re-run with --telemetry)"
+                )
+    except (OSError, ValueError) as exc:
+        return usage(str(exc))
+
+    report = health_report(
+        frame=frame, telemetry=telemetry, min_convergence=args.min_convergence
+    )
+    print(format_health_report(report, frame=frame))
+    if args.json is not None:
+        Path(args.json).write_text(_json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+    return 0 if report["healthy"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -561,6 +720,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "trace": _cmd_trace,
         "bench-compare": _cmd_bench_compare,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

@@ -58,6 +58,10 @@ class QAggregationProtocol(Protocol):
         self._rng = rng
         self.exchanges = 0  # diagnostics
 
+    def telemetry_counters(self) -> Dict[str, float]:
+        """Cumulative counters for the telemetry registry."""
+        return {"aggregation_exchanges": float(self.exchanges)}
+
     def execute_round(self, node: "Node", sim: "Simulation") -> None:
         peer_id = self.sampler.select_peer(node, sim)
         if peer_id is None:

@@ -90,6 +90,10 @@ class GlapConsolidationProtocol(Protocol):
         self.rejections_by_q_in = 0
         self.rejections_by_capacity = 0
         self.switch_offs = 0
+        # Unlike dc.migrations this survives dc.reset_accounting(), so
+        # telemetry deltas over it never go negative at the warmup/eval
+        # boundary.
+        self.migrations_done = 0
 
     # -- the active thread ---------------------------------------------------
 
@@ -188,6 +192,7 @@ class GlapConsolidationProtocol(Protocol):
                 peer=receiver.pm_id, vm=vm.vm_id, outcome="migrated",
             )
         self.dc.migrate(vm.vm_id, receiver.pm_id)
+        self.migrations_done += 1
         return True
 
     def _find_vm(

@@ -13,7 +13,7 @@ averaging of independent values concentrates around the population mean
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -23,15 +23,35 @@ from repro.util.stats import cosine_similarity
 __all__ = ["qvalue_matrix", "mean_pairwise_cosine", "similarity_to_mean"]
 
 
+def _union_actions(
+    models: List[QLearningModel],
+) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+    """Per-table union of observed actions, keyed by state.
+
+    Grouping by state keeps the union a handful of C-level set merges
+    instead of one tuple hash per (table, state, action) entry — this is
+    the live convergence gauge's hot path.
+    """
+    out_states: Dict[int, Set[int]] = {}
+    in_states: Dict[int, Set[int]] = {}
+    for m in models:
+        for dest, table in ((out_states, m.q_out), (in_states, m.q_in)):
+            for state, actions in table.state_items():
+                seen = dest.get(state)
+                if seen is None:
+                    dest[state] = set(actions)
+                else:
+                    seen.update(actions)
+    return out_states, in_states
+
+
 def _union_keys(models: List[QLearningModel]) -> List[Tuple[str, int, int]]:
     """Union of all (table, state, action) keys across models, ordered."""
-    keys = set()
-    for m in models:
-        for k in m.q_out.keys():
-            keys.add(("out",) + k)
-        for k in m.q_in.keys():
-            keys.add(("in",) + k)
-    return sorted(keys)
+    out_states, in_states = _union_actions(models)
+    keys = [("out", s, a) for s, acts in out_states.items() for a in acts]
+    keys += [("in", s, a) for s, acts in in_states.items() for a in acts]
+    keys.sort()
+    return keys
 
 
 def qvalue_matrix(models: List[QLearningModel]) -> np.ndarray:
@@ -44,13 +64,27 @@ def qvalue_matrix(models: List[QLearningModel]) -> np.ndarray:
     keys = _union_keys(models)
     if not keys:
         return np.zeros((len(models), 0), dtype=np.float64)
+    # Column indices grouped by (table, state): the whole matrix is then
+    # filled with one fancy-indexed assignment instead of one numpy
+    # scalar write per entry.
+    col_of: Dict[Tuple[str, int], Dict[int, int]] = {}
+    for j, (prefix, s, a) in enumerate(keys):
+        col_of.setdefault((prefix, s), {})[a] = j
     out = np.zeros((len(models), len(keys)), dtype=np.float64)
-    index = {k: j for j, k in enumerate(keys)}
+    cols: List[int] = []
+    vals: List[float] = []
+    counts = np.empty(len(models), dtype=np.intp)
     for i, m in enumerate(models):
-        for (s, a), v in m.q_out.items():
-            out[i, index[("out", s, a)]] = v
-        for (s, a), v in m.q_in.items():
-            out[i, index[("in", s, a)]] = v
+        n_before = len(cols)
+        for prefix, table in (("out", m.q_out), ("in", m.q_in)):
+            for state, actions in table.state_items():
+                colmap = col_of[(prefix, state)]
+                cols.extend(map(colmap.__getitem__, actions))
+                vals.extend(actions.values())
+        counts[i] = len(cols) - n_before
+    if cols:
+        rows = np.repeat(np.arange(len(models)), counts)
+        out[rows, np.asarray(cols, dtype=np.intp)] = vals
     return out
 
 
@@ -71,16 +105,27 @@ def mean_pairwise_cosine(
         return 1.0  # no knowledge anywhere: all identical (empty) maps
     total_pairs = n * (n - 1) // 2
     if total_pairs <= max_pairs:
-        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        ii, jj = np.triu_indices(n, k=1)
     else:
         if rng is None:
             rng = np.random.default_rng(0)
-        ii = rng.integers(0, n, size=max_pairs * 2)
-        jj = rng.integers(0, n, size=max_pairs * 2)
-        pairs = [(int(i), int(j)) for i, j in zip(ii, jj) if i != j][:max_pairs]
-        if not pairs:  # pathological rng output; fall back to one pair
-            pairs = [(0, 1)]
-    sims = [cosine_similarity(mat[i], mat[j]) for i, j in pairs]
+        raw_i = rng.integers(0, n, size=max_pairs * 2)
+        raw_j = rng.integers(0, n, size=max_pairs * 2)
+        keep = raw_i != raw_j
+        ii = raw_i[keep][:max_pairs]
+        jj = raw_j[keep][:max_pairs]
+        if ii.size == 0:  # pathological rng output; fall back to one pair
+            ii, jj = np.array([0]), np.array([1])
+    # All pairs at once: row dots + norms replace one cosine_similarity
+    # call per pair, with the same zero-vector conventions (two empty
+    # maps agree perfectly; empty vs non-empty do not agree at all).
+    norms = np.linalg.norm(mat, axis=1)
+    ni, nj = norms[ii], norms[jj]
+    dots = np.einsum("ij,ij->i", mat[ii], mat[jj])
+    sims = np.empty(ii.shape[0], dtype=np.float64)
+    nonzero = (ni != 0.0) & (nj != 0.0)
+    sims[~nonzero] = np.where((ni == 0.0) & (nj == 0.0), 1.0, 0.0)[~nonzero]
+    sims[nonzero] = np.clip(dots[nonzero] / (ni[nonzero] * nj[nonzero]), -1.0, 1.0)
     return float(np.mean(sims))
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.core.aggregation import QAggregationProtocol
 from repro.core.consolidation import GlapConsolidationProtocol
@@ -146,6 +146,8 @@ class GlapPolicy(ConsolidationPolicy):
         self.phase_protocol: Optional[_GlapPhaseProtocol] = None
         self._warmup_rounds = 0
         self._rounds_seen = 0
+        # (change stamp, value) memo for the convergence gauge.
+        self._convergence_cache: Optional[Tuple[Tuple[int, int, int], float]] = None
 
     # -- ConsolidationPolicy ------------------------------------------------
 
@@ -228,6 +230,80 @@ class GlapPolicy(ConsolidationPolicy):
             node.register("overlay", overlay_protocol)
             node.register("glap", dispatcher)
 
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.register_counters("glap", self._telemetry_counters)
+            tel.register_gauge("glap/q_cosine", self._sample_convergence)
+
+    def _telemetry_counters(self) -> Dict[str, float]:
+        """Cumulative GLAP counters for the telemetry registry."""
+        assert self.phase_protocol is not None
+        pp = self.phase_protocol
+        cons = pp.consolidation
+        attempted = (
+            cons.migrations_done
+            + cons.rejections_by_q_in
+            + cons.rejections_by_capacity
+        )
+        counters: Dict[str, float] = {
+            "consolidation_exchanges": float(cons.exchanges),
+            "migrations_attempted": float(attempted),
+            "migrations_accepted": float(cons.migrations_done),
+            "reject_q_in": float(cons.rejections_by_q_in),
+            "reject_capacity": float(cons.rejections_by_capacity),
+            "switch_offs": float(cons.switch_offs),
+            "td_error_abs": pp.learning.td_error_abs,
+            "td_updates": float(pp.learning.td_updates),
+            "train_rounds": float(pp.learning.train_rounds),
+        }
+        counters.update(pp.aggregation.telemetry_counters())
+        return counters
+
+    # Cap the live convergence sample so the gauge stays cheap on large
+    # populations (the dense Q-matrix build is linear in models kept):
+    # 16 models / 120 pairs estimates the same mean as the offline
+    # all-pairs pass within the gate's tolerance, and keeps the gauge
+    # inside the perf-smoke cell's <= 5% telemetry overhead budget.
+    _CONVERGENCE_MODEL_CAP = 16
+    _CONVERGENCE_PAIR_CAP = 300
+
+    def _sample_convergence(self) -> float:
+        """Live Fig. 5 sample: mean pairwise Q-table cosine similarity.
+
+        Deterministic and RNG-isolated — the pair sampler gets a fresh
+        seeded generator, so the gauge never perturbs the simulation.
+
+        Models mutate only through training (``train_rounds`` /
+        ``td_updates``, which telemetry-enabled runs always track) and
+        aggregation merges (``exchanges``), so those counters form a
+        change stamp: while it stands still — every consolidation-phase
+        sample, where models are frozen — the cached value is returned
+        instead of rebuilding the Q-matrix.  A stamp hit recomputes to
+        the same value by construction, so resumed runs (which start
+        with a cold cache) sample identically.
+        """
+        from repro.core.convergence import mean_pairwise_cosine
+        import numpy as np
+
+        assert self.phase_protocol is not None
+        pp = self.phase_protocol
+        stamp = (
+            pp.learning.train_rounds,
+            pp.learning.td_updates,
+            pp.aggregation.exchanges,
+        )
+        cached = self._convergence_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        models = [
+            self.models[nid] for nid in sorted(self.models)
+        ][: self._CONVERGENCE_MODEL_CAP]
+        value = mean_pairwise_cosine(
+            models, rng=np.random.default_rng(0), max_pairs=self._CONVERGENCE_PAIR_CAP
+        )
+        self._convergence_cache = (stamp, value)
+        return value
+
     def end_warmup(self, dc: "DataCenter", sim: "Simulation") -> None:
         assert self.phase_protocol is not None, "attach() must run first"
         self.phase_protocol.phase = GlapPhase.CONSOLIDATE
@@ -277,6 +353,12 @@ class GlapPolicy(ConsolidationPolicy):
                 "rejections_by_q_in": cons.rejections_by_q_in,
                 "rejections_by_capacity": cons.rejections_by_capacity,
                 "switch_offs": cons.switch_offs,
+                "migrations_done": cons.migrations_done,
+            },
+            "learning": {
+                "td_error_abs": pp.learning.td_error_abs,
+                "td_updates": pp.learning.td_updates,
+                "train_rounds": pp.learning.train_rounds,
             },
         }
         if self.cyclon is not None:
@@ -302,6 +384,12 @@ class GlapPolicy(ConsolidationPolicy):
         cons.rejections_by_q_in = int(cons_state["rejections_by_q_in"])
         cons.rejections_by_capacity = int(cons_state["rejections_by_capacity"])
         cons.switch_offs = int(cons_state["switch_offs"])
+        # .get defaults keep checkpoints from before these counters loadable.
+        cons.migrations_done = int(cons_state.get("migrations_done", 0))
+        learning_state = state.get("learning", {})
+        pp.learning.td_error_abs = float(learning_state.get("td_error_abs", 0.0))
+        pp.learning.td_updates = int(learning_state.get("td_updates", 0))
+        pp.learning.train_rounds = int(learning_state.get("train_rounds", 0))
         if self.cyclon is not None:
             self.cyclon.load_state_dict(state["cyclon"])
 

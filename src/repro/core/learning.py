@@ -91,6 +91,7 @@ class LocalTrainer:
         iterations_per_round: int = 20,
         coverage_target: float = 2.0,
         max_profiles: int = 256,
+        track_td: bool = False,
     ) -> None:
         """
         Parameters
@@ -107,6 +108,10 @@ class LocalTrainer:
             states" the training pool must be able to overload a PM.
         max_profiles:
             Safety cap on pool growth from duplication.
+        track_td:
+            Accumulate the absolute TD error of every Q update into
+            ``td_abs_sum``/``td_updates`` (telemetry).  The extra work is
+            two dict reads per iteration and perturbs nothing.
         """
         self.model = model
         self.pm_capacity = np.asarray(pm_capacity, dtype=np.float64)
@@ -118,6 +123,9 @@ class LocalTrainer:
         self.iterations_per_round = int(check_positive(iterations_per_round, "iterations_per_round"))
         self.coverage_target = check_positive(coverage_target, "coverage_target")
         self.max_profiles = int(check_positive(max_profiles, "max_profiles"))
+        self.track_td = bool(track_td)
+        self.td_abs_sum = 0.0
+        self.td_updates = 0
 
     # -- pool preparation ---------------------------------------------------
 
@@ -225,7 +233,8 @@ class LocalTrainer:
                 max(float(cc0[k_s - 1] - cur0[pick]), 0.0),
                 max(float(cc1[k_s - 1] - cur1[pick]), 0.0),
             )
-            q_out.update(
+            old_out = q_out.get(s_before, action) if self.track_td else 0.0
+            new_out = q_out.update(
                 s_before, action, reward_out.of_state(s_after), s_after, alpha, gamma
             )
 
@@ -239,9 +248,13 @@ class LocalTrainer:
                 float(cc0[last] - cc0[k_s - 1] + cur0[pick]),
                 float(cc1[last] - cc1[k_s - 1] + cur1[pick]),
             )
-            q_in.update(
+            old_in = q_in.get(t_before, action) if self.track_td else 0.0
+            new_in = q_in.update(
                 t_before, action, reward_in.of_state(t_after), t_after, alpha, gamma
             )
+            if self.track_td:
+                self.td_abs_sum += abs(new_out - old_out) + abs(new_in - old_in)
+                self.td_updates += 2
             updates += 1
         return updates
 
@@ -280,6 +293,11 @@ class GossipLearningProtocol(Protocol):
         # e.g. ... a fixed time interval"; nodes are staggered so some
         # PMs train every round.
         self.learning_period = int(check_positive(learning_period, "learning_period"))
+        # Telemetry diagnostics (cumulative; only grown when telemetry
+        # is enabled, so the default path stays untouched).
+        self.td_error_abs = 0.0
+        self.td_updates = 0
+        self.train_rounds = 0
 
     def execute_round(self, node: "Node", sim: "Simulation") -> None:
         if (sim.round_index + node.node_id) % self.learning_period != 0:
@@ -304,14 +322,20 @@ class GossipLearningProtocol(Protocol):
         profiles.extend(peer_profiles)
         if len(profiles) < 2:
             return
+        track_td = sim.telemetry.enabled
         trainer = LocalTrainer(
             self.models[node.node_id],
             pm.spec.capacity_vector(),
             self._rng,
             iterations_per_round=self.iterations_per_round,
             coverage_target=self.coverage_target,
+            track_td=track_td,
         )
         updates = trainer.train_round(profiles)
+        if track_td:
+            self.td_error_abs += trainer.td_abs_sum
+            self.td_updates += trainer.td_updates
+            self.train_rounds += 1
         if sim.tracer.enabled:
             sim.tracer.emit(
                 "q_pull", sim.round_index, node.node_id,

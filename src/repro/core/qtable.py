@@ -148,6 +148,12 @@ class QTable:
     def states(self) -> List[int]:
         return list(self._by_state.keys())
 
+    def state_items(self) -> Iterator[Tuple[int, Dict[int, float]]]:
+        """(state, {action: q}) pairs — bulk read-out for vectorized
+        consumers (the convergence matrix).  The inner dicts are live
+        views; callers must not mutate them."""
+        return iter(self._by_state.items())
+
     def __len__(self) -> int:
         return sum(len(a) for a in self._by_state.values())
 

@@ -37,6 +37,7 @@ from repro.metrics.report import RunResult
 from repro.metrics.sla import slalm, slavo
 from repro.obs.observers import OverloadTraceObserver
 from repro.obs.profiler import NULL_PROFILER, NullProfiler
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import Simulation
 from repro.simulator.node import Node
@@ -234,6 +235,12 @@ def _run_eval(
             policy.step(dc, sim)
         with prof.phase("metrics"):
             collector.sample()
+        if sim.telemetry.enabled:
+            # run_round already advanced the counter, so the round just
+            # executed is round_index - 1.  Before round_hook and the
+            # checkpoint save, so checkpointed telemetry covers exactly
+            # the completed rounds.
+            sim.telemetry.end_round(sim.round_index - 1)
         if round_hook is not None:
             round_hook(r, dc, sim)
         env.eval_rounds_done = r + 1
@@ -293,6 +300,7 @@ def run_policy(
     check_invariants: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
     profiler: Optional[NullProfiler] = None,
+    telemetry: Optional[Telemetry] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
 ) -> RunResult:
@@ -314,9 +322,13 @@ def run_policy(
     ``tracer`` installs a structured event tracer on the data centre,
     the engine and the fault controller (see :mod:`repro.obs.tracer`);
     ``profiler`` accumulates a per-phase wall-time breakdown (see
-    :mod:`repro.obs.profiler`).  Both default to shared no-ops, never
-    consume randomness, and leave every result bit-identical — the
-    golden suite asserts this even with tracing *enabled*.
+    :mod:`repro.obs.profiler`); ``telemetry`` (a
+    :class:`~repro.obs.telemetry.TelemetryRegistry`) records per-round
+    counter/gauge series — the network, the fault controller and the
+    policy register their providers during setup.  All three default to
+    shared no-ops, never consume randomness, and leave every result
+    bit-identical — the golden suite asserts this even with them
+    *enabled*.
 
     ``checkpoint_path`` enables checkpointing: a snapshot of complete
     run state is written there atomically every ``checkpoint_every``
@@ -329,10 +341,17 @@ def run_policy(
 
     tracer = tracer if tracer is not None else NULL_TRACER
     prof = profiler if profiler is not None else NULL_PROFILER
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     dc.tracer = tracer
     sim.tracer = tracer
     sim.profiler = prof
     sim.network.profiler = prof
+    # Installed before controller.install and policy.attach so both can
+    # register their counter providers; registration order is fixed
+    # (net, faults, policy) and re-run identically on resume.
+    sim.telemetry = telemetry
+    if telemetry.enabled:
+        telemetry.register_counters("net", sim.network.telemetry_counters)
 
     plan = faults if faults is not None else scenario.faults
     controller: Optional[FaultController] = None
@@ -363,6 +382,8 @@ def run_policy(
             sim.run_round()
         with prof.phase("policy_step"):
             policy.step(dc, sim)
+        if telemetry.enabled:
+            telemetry.end_round(sim.round_index - 1)
 
     policy.end_warmup(dc, sim)
     dc.reset_accounting()
@@ -393,6 +414,7 @@ def resume_policy(
     trace: Optional[TraceSource] = None,
     tracer: Optional[Tracer] = None,
     profiler: Optional[NullProfiler] = None,
+    telemetry: Optional[Telemetry] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_to: Optional[Union[str, Path]] = None,
 ) -> RunResult:
@@ -410,7 +432,12 @@ def resume_policy(
     checkpoint is written there whenever either is set.
     """
     env = restore_checkpoint(
-        checkpoint_path, policy, trace=trace, tracer=tracer, profiler=profiler
+        checkpoint_path,
+        policy,
+        trace=trace,
+        tracer=tracer,
+        profiler=profiler,
+        telemetry=telemetry,
     )
     target = checkpoint_to if checkpoint_to is not None else (
         checkpoint_path if checkpoint_every is not None else None

@@ -59,8 +59,17 @@ class FaultController:
         controller never perturbs a fault-free run.
         """
         sim.network.configure(rng=self._rng)
+        if sim.telemetry.enabled:
+            sim.telemetry.register_counters("faults", self._telemetry_counters)
         self._installed = True
         return self
+
+    def _telemetry_counters(self) -> Dict[str, float]:
+        return {
+            "crashes": float(self.crashes_injected),
+            "restarts": float(self.restarts_injected),
+            "phase_changes": float(self.phase_changes),
+        }
 
     def before_round(self, dc: "DataCenter", sim: "Simulation") -> None:
         """Apply everything the plan schedules for the upcoming round."""

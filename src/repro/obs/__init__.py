@@ -9,9 +9,21 @@ The subsystem has four layers, from emission to CI enforcement:
 * :mod:`repro.obs.summary` — the schema-versioned ``BENCH_run.json``
   run-summary artifact;
 * :mod:`repro.obs.compare` — the ``glap bench-compare`` diff used by the
-  CI ``perf-smoke`` gate.
+  CI ``perf-smoke`` gate;
+* :mod:`repro.obs.telemetry` — the per-round counter/gauge registry
+  behind ``glap run --telemetry`` (``NULL_TELEMETRY`` default);
+* :mod:`repro.obs.analytics` — columnar trace loading, conservation
+  checks and the ``glap analyze`` health report.
 """
 
+from repro.obs.analytics import (
+    TraceFrame,
+    diff_frames,
+    format_health_report,
+    frame_from_events,
+    health_report,
+    load_frame,
+)
 from repro.obs.compare import Finding, compare_summaries, format_findings
 from repro.obs.observers import OverloadTraceObserver
 from repro.obs.profiler import NULL_PROFILER, NullProfiler, PhaseProfiler, PhaseStats
@@ -24,6 +36,12 @@ from repro.obs.summary import (
     sweep_summary,
     write_summary,
 )
+from repro.obs.telemetry import (
+    TELEMETRY_VERSION,
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryRegistry,
+)
 from repro.obs.tracer import (
     EVENT_KINDS,
     NULL_TRACER,
@@ -32,6 +50,7 @@ from repro.obs.tracer import (
     Tracer,
     load_trace,
     read_trace,
+    read_trace_batches,
 )
 
 __all__ = [
@@ -41,7 +60,18 @@ __all__ = [
     "JsonlTracer",
     "RecordingTracer",
     "read_trace",
+    "read_trace_batches",
     "load_trace",
+    "TELEMETRY_VERSION",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "TelemetryRegistry",
+    "TraceFrame",
+    "load_frame",
+    "frame_from_events",
+    "diff_frames",
+    "health_report",
+    "format_health_report",
     "NullProfiler",
     "NULL_PROFILER",
     "PhaseProfiler",

@@ -11,7 +11,11 @@ loads two :mod:`repro.obs.summary` artifacts and reports:
   *below* baseline are reported as improvements but never fail;
 * **context mismatch** — comparing summaries of different scenarios or
   policies is a configuration error and fails, so the gate can never
-  silently pass by comparing apples to oranges.
+  silently pass by comparing apples to oranges;
+* **telemetry drift** — when both summaries carry a ``telemetry``
+  section, its counter totals and final gauge values are deterministic
+  exactly like metrics, so any drift fails; a section present in only
+  one summary is a warning (telemetry is opt-in per run).
 
 Timing keys present in only one summary are reported but do not fail:
 instrumentation legitimately gains phases across PRs, and a missing
@@ -118,6 +122,22 @@ def compare_summaries(
                 Finding("fail", "metric_drift", key, b_met[key], c_met[key])
             )
 
+    # Telemetry: deterministic like metrics, but opt-in per run.
+    b_tel, c_tel = baseline.get("telemetry"), current.get("telemetry")
+    if (b_tel is None) != (c_tel is None):
+        findings.append(
+            Finding(
+                "warn",
+                "telemetry_coverage",
+                "telemetry",
+                "present" if b_tel is not None else "absent",
+                "present" if c_tel is not None else "absent",
+                "telemetry section present in only one summary",
+            )
+        )
+    elif b_tel is not None and c_tel is not None:
+        findings.extend(_compare_telemetry(b_tel, c_tel))
+
     if compare_timings:
         b_tim = _flatten_timings(baseline.get("timings", {}))
         c_tim = _flatten_timings(current.get("timings", {}))
@@ -160,6 +180,63 @@ def compare_summaries(
                         f"{cur / base:.2f}x baseline",
                     )
                 )
+    return findings
+
+
+def _compare_telemetry(
+    baseline: Mapping[str, Any], current: Mapping[str, Any]
+) -> List[Finding]:
+    """Gate telemetry totals and final gauge values like metrics."""
+    findings: List[Finding] = []
+    b_tot = baseline.get("totals", {})
+    c_tot = current.get("totals", {})
+    for key in sorted(set(b_tot) | set(c_tot)):
+        if key not in b_tot or key not in c_tot:
+            findings.append(
+                Finding(
+                    "fail",
+                    "telemetry_drift",
+                    f"total/{key}",
+                    b_tot.get(key),
+                    c_tot.get(key),
+                    "counter present in only one summary",
+                )
+            )
+        elif not _metrics_equal(b_tot[key], c_tot[key]):
+            findings.append(
+                Finding(
+                    "fail", "telemetry_drift", f"total/{key}", b_tot[key], c_tot[key]
+                )
+            )
+
+    def final(gauges: Mapping[str, Any], name: str) -> Any:
+        values = (gauges.get(name) or {}).get("values") or []
+        return values[-1] if values else None
+
+    b_g, c_g = baseline.get("gauges", {}), current.get("gauges", {})
+    for name in sorted(set(b_g) | set(c_g)):
+        if name not in b_g or name not in c_g:
+            findings.append(
+                Finding(
+                    "fail",
+                    "telemetry_drift",
+                    f"gauge/{name}",
+                    final(b_g, name),
+                    final(c_g, name),
+                    "gauge present in only one summary",
+                )
+            )
+        elif not _metrics_equal(final(b_g, name), final(c_g, name)):
+            findings.append(
+                Finding(
+                    "fail",
+                    "telemetry_drift",
+                    f"gauge/{name}",
+                    final(b_g, name),
+                    final(c_g, name),
+                    "final gauge sample drifted",
+                )
+            )
     return findings
 
 

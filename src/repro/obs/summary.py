@@ -15,11 +15,15 @@ Layout (``SCHEMA`` / ``SCHEMA_VERSION`` gate readers)::
       "kind": "run" | "sweep",
       "context":  {"policy": ..., "n_pms": ..., "seed": ..., ...},
       "timings":  {"wall_s": ..., "phases": {name: {"total_s":..., "calls":...}}},
-      "metrics":  {name: number, ...}
+      "metrics":  {name: number, ...},
+      "telemetry": {...}            # optional, own TELEMETRY_VERSION
     }
 
 Timings are machine-dependent; metrics are fully deterministic given
-(scenario, seed) — the comparison tool treats the two accordingly.
+(scenario, seed) — the comparison tool treats the two accordingly.  The
+optional ``telemetry`` section (:meth:`TelemetryRegistry.to_dict`)
+carries counter totals and gauge samples, which are deterministic too
+and gated like metrics.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.util.io import atomic_write_text
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.report import RunResult
     from repro.obs.profiler import PhaseProfiler
+    from repro.obs.telemetry import TelemetryRegistry
 
 __all__ = [
     "SCHEMA",
@@ -72,6 +77,7 @@ def run_summary(
     profiler: Optional["PhaseProfiler"] = None,
     warmup_rounds: Optional[int] = None,
     trace_events: Optional[int] = None,
+    telemetry: Optional["TelemetryRegistry"] = None,
 ) -> Dict[str, Any]:
     """Build a ``kind="run"`` summary from one finished run."""
     summary = _envelope("run")
@@ -92,6 +98,8 @@ def run_summary(
     summary["metrics"] = {name: getattr(result, name) for name in METRIC_FIELDS}
     if trace_events is not None:
         summary["trace_events"] = int(trace_events)
+    if telemetry is not None and telemetry.enabled:
+        summary["telemetry"] = telemetry.to_dict()
     return summary
 
 
@@ -150,3 +158,20 @@ def _validate(summary: Any, *, where: str) -> None:
             raise ValueError(f"{where}: missing or malformed {section!r} section")
     if "wall_s" not in summary["timings"]:
         raise ValueError(f"{where}: timings section lacks wall_s")
+    telemetry = summary.get("telemetry")
+    if telemetry is not None:
+        from repro.obs.telemetry import TELEMETRY_VERSION
+
+        if not isinstance(telemetry, dict):
+            raise ValueError(f"{where}: telemetry section must be an object")
+        t_version = telemetry.get("version")
+        if t_version != TELEMETRY_VERSION:
+            raise ValueError(
+                f"{where}: telemetry version {t_version!r} unsupported "
+                f"(this build reads version {TELEMETRY_VERSION})"
+            )
+        for section in ("totals", "gauges"):
+            if not isinstance(telemetry.get(section), dict):
+                raise ValueError(
+                    f"{where}: telemetry section lacks {section!r} map"
+                )

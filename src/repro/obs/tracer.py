@@ -53,6 +53,7 @@ __all__ = [
     "JsonlTracer",
     "RecordingTracer",
     "read_trace",
+    "read_trace_batches",
     "load_trace",
 ]
 
@@ -197,6 +198,28 @@ def read_trace(source: Union[str, Path, IO[str]]) -> Iterator[Dict[str, Any]]:
     finally:
         if owns:
             fh.close()
+
+
+def read_trace_batches(
+    source: Union[str, Path, IO[str]], batch_size: int = 65536
+) -> Iterator[List[Dict[str, Any]]]:
+    """Stream a trace in bounded batches of validated events.
+
+    The batched shape lets columnar consumers (``glap analyze``) process
+    multi-GB traces with at most ``batch_size`` event dicts alive at
+    once, while amortising per-event overhead.  The final batch may be
+    shorter; an empty trace yields nothing.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be > 0, got {batch_size}")
+    batch: List[Dict[str, Any]] = []
+    for event in read_trace(source):
+        batch.append(event)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 def load_trace(source: Union[str, Path, IO[str]]) -> List[Dict[str, Any]]:

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.obs.profiler import NULL_PROFILER, NullProfiler
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.network import Network
 from repro.simulator.node import Node
@@ -78,6 +79,7 @@ class Simulation:
         #: randomness either way (the golden suite pins this).
         self.tracer: Tracer = NULL_TRACER
         self.profiler: NullProfiler = NULL_PROFILER
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     # -- population access --------------------------------------------------
 
@@ -231,5 +233,7 @@ class Simulation:
             node.wake()
         if self.tracer.enabled:
             self.tracer.emit("pm_wake", self.round_index, node_id, recover=recover)
+        if self.telemetry.enabled:
+            self.telemetry.inc("engine/pm_wake")
         for name in self._node_protocol_names(node):
             node.protocol(name).on_wake(node, self)

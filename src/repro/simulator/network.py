@@ -71,24 +71,37 @@ class NetworkStats:
 
     messages_sent: int = 0
     messages_dropped: int = 0
+    messages_delivered: int = 0
     bytes_sent: int = 0
     per_kind: Dict[str, int] = field(default_factory=dict)
     dropped_per_kind: Dict[str, int] = field(default_factory=dict)
+    delivered_per_kind: Dict[str, int] = field(default_factory=dict)
 
     def record(self, msg: Message, dropped: bool) -> None:
+        # Delivered is counted independently of dropped (not derived as
+        # sent - dropped) so the conservation identity sent == delivered
+        # + dropped checked by ``glap analyze`` is a real invariant — a
+        # counter desynchronised across checkpoint/resume breaks it.
         self.messages_sent += 1
         self.bytes_sent += msg.size_bytes
         self.per_kind[msg.kind] = self.per_kind.get(msg.kind, 0) + 1
         if dropped:
             self.messages_dropped += 1
             self.dropped_per_kind[msg.kind] = self.dropped_per_kind.get(msg.kind, 0) + 1
+        else:
+            self.messages_delivered += 1
+            self.delivered_per_kind[msg.kind] = (
+                self.delivered_per_kind.get(msg.kind, 0) + 1
+            )
 
     def reset(self) -> None:
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_delivered = 0
         self.bytes_sent = 0
         self.per_kind.clear()
         self.dropped_per_kind.clear()
+        self.delivered_per_kind.clear()
 
 
 def _validate_loss_per_kind(loss_per_kind: Mapping[str, float]) -> Dict[str, float]:
@@ -231,6 +244,30 @@ class Network:
     def reset_stats(self) -> None:
         self.stats.reset()
 
+    # -- telemetry -----------------------------------------------------------
+
+    def telemetry_counters(self) -> Dict[str, float]:
+        """Cumulative traffic counters for the telemetry registry.
+
+        Flat keys: ``sent``/``delivered``/``dropped``/``bytes`` plus the
+        per-kind ``sent/<kind>`` (and delivered/dropped) variants, so a
+        telemetry section can verify message conservation per kind.
+        """
+        stats = self.stats
+        counters: Dict[str, float] = {
+            "sent": float(stats.messages_sent),
+            "delivered": float(stats.messages_delivered),
+            "dropped": float(stats.messages_dropped),
+            "bytes": float(stats.bytes_sent),
+        }
+        for kind, n in stats.per_kind.items():
+            counters[f"sent/{kind}"] = float(n)
+        for kind, n in stats.delivered_per_kind.items():
+            counters[f"delivered/{kind}"] = float(n)
+        for kind, n in stats.dropped_per_kind.items():
+            counters[f"dropped/{kind}"] = float(n)
+        return counters
+
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> Dict[str, Any]:
@@ -253,9 +290,11 @@ class Network:
             "stats": {
                 "messages_sent": self.stats.messages_sent,
                 "messages_dropped": self.stats.messages_dropped,
+                "messages_delivered": self.stats.messages_delivered,
                 "bytes_sent": self.stats.bytes_sent,
                 "per_kind": dict(self.stats.per_kind),
                 "dropped_per_kind": dict(self.stats.dropped_per_kind),
+                "delivered_per_kind": dict(self.stats.delivered_per_kind),
             },
         }
 
@@ -284,3 +323,22 @@ class Network:
         self.stats.dropped_per_kind = {
             str(k): int(v) for k, v in stats["dropped_per_kind"].items()
         }
+        # Checkpoints written before delivered counters existed carry
+        # neither key; reconstruct from the conservation identity.
+        self.stats.messages_delivered = int(
+            stats.get(
+                "messages_delivered",
+                self.stats.messages_sent - self.stats.messages_dropped,
+            )
+        )
+        delivered = stats.get("delivered_per_kind")
+        if delivered is not None:
+            self.stats.delivered_per_kind = {
+                str(k): int(v) for k, v in delivered.items()
+            }
+        else:
+            self.stats.delivered_per_kind = {
+                kind: n - self.stats.dropped_per_kind.get(kind, 0)
+                for kind, n in self.stats.per_kind.items()
+                if n - self.stats.dropped_per_kind.get(kind, 0) > 0
+            }

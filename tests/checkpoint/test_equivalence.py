@@ -81,6 +81,52 @@ def test_midpoint_resume_matches_golden(policy_name, variant, tmp_path):
     assert digest_run(result) == _golden(f"{policy_name}/{variant}")
 
 
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_resume_preserves_telemetry_series_exactly(policy_name, tmp_path):
+    """Telemetry across a checkpoint cut == telemetry of an unbroken run.
+
+    The registry's full per-round series, gauge samples and push/prev
+    counters ride in the checkpoint, so a run interrupted at its
+    midpoint and resumed with a *fresh* registry must end with state
+    bit-identical to the never-stopped instrumented run.
+    """
+    from repro.obs.telemetry import TelemetryRegistry
+
+    kwargs = POLICY_KWARGS.get(policy_name, {})
+
+    unbroken = TelemetryRegistry(gauge_every=5)
+    result = run_policy(
+        SCENARIO,
+        make_policy(policy_name, **kwargs),
+        SCENARIO.seed_of(0),
+        telemetry=unbroken,
+    )
+
+    ckpt = tmp_path / "ck.json"
+    first_half = TelemetryRegistry(gauge_every=5)
+    with pytest.raises(_Interrupted):
+        run_policy(
+            SCENARIO,
+            make_policy(policy_name, **kwargs),
+            SCENARIO.seed_of(0),
+            round_hook=_interrupt_after_midpoint,
+            telemetry=first_half,
+            checkpoint_every=MIDPOINT,
+            checkpoint_path=ckpt,
+        )
+    second_half = TelemetryRegistry()  # gauge_every restored from the checkpoint
+    resumed = resume_policy(
+        ckpt,
+        make_policy(policy_name, **kwargs),
+        telemetry=second_half,
+    )
+
+    assert digest_run(resumed) == digest_run(result)
+    assert second_half.state_dict() == unbroken.state_dict()
+    # the cut really happened mid-series
+    assert len(first_half.rounds) < len(unbroken.rounds)
+
+
 _RESUME_SCRIPT = """
 import json, sys
 sys.path.insert(0, @SRC@)

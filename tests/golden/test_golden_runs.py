@@ -126,6 +126,58 @@ def test_traced_run_matches_clean_golden(policy_name, tmp_path, update_golden):
     assert len(events) == tracer.events_emitted
 
 
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_telemetry_run_matches_clean_golden(policy_name, tmp_path, update_golden):
+    """An *enabled* telemetry registry must not move a single bit either.
+
+    Telemetry snapshots counters and samples the convergence gauge with
+    a private generator, so — like tracing — a fully instrumented run
+    (telemetry + tracer + profiler together) must land exactly on the
+    checked-in "clean" golden digest.
+    """
+    if update_golden:
+        pytest.skip("fixture refresh handled by test_golden_run")
+    from repro.obs.profiler import PhaseProfiler
+    from repro.obs.telemetry import TelemetryRegistry
+    from repro.obs.tracer import JsonlTracer
+
+    kwargs = POLICY_KWARGS.get(policy_name, {})
+    telemetry = TelemetryRegistry(gauge_every=5)
+    tracer = JsonlTracer(tmp_path / "trace.jsonl")
+    result = run_policy(
+        SCENARIO,
+        make_policy(policy_name, **kwargs),
+        SCENARIO.seed_of(0),
+        tracer=tracer,
+        profiler=PhaseProfiler(),
+        telemetry=telemetry,
+    )
+    tracer.close()
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert digest_run(result) == golden[f"{policy_name}/clean"], (
+        f"telemetry perturbed the {policy_name} run — telemetry code must "
+        "never consume shared randomness or mutate simulation state"
+    )
+    # The registry really observed the run: one row per simulation round
+    # and message counters that balance.
+    n_rounds = SCENARIO.warmup_rounds + SCENARIO.rounds
+    assert telemetry.rounds == list(range(n_rounds))
+    totals = telemetry.totals()
+    assert totals["net/sent"] == totals["net/delivered"] + totals["net/dropped"]
+    if policy_name != "PABFD":  # PABFD is centralised: no gossip traffic
+        assert totals["net/sent"] > 0
+    if policy_name == "GLAP":
+        samples = telemetry.gauges["glap/q_cosine"]
+        assert samples["rounds"] == list(range(0, n_rounds, 5))
+        assert all(0.0 <= v <= 1.0 for v in samples["values"])
+        assert totals["glap/migrations_attempted"] == (
+            totals["glap/migrations_accepted"]
+            + totals["glap/reject_q_in"]
+            + totals["glap/reject_capacity"]
+        )
+
+
 @pytest.mark.parametrize("policy_name,variant", CASES)
 def test_golden_run(policy_name, variant, update_golden):
     key = f"{policy_name}/{variant}"

@@ -1,0 +1,168 @@
+"""Property-based analytics invariants on adversarial event streams.
+
+Hypothesis generates arbitrary (but schema-valid) event streams and
+asserts the analytics layer's structural guarantees: frames always
+align, derived analyses never crash or double-count, the conservation
+checks flag *exactly* the violations seeded into a stream, and diffing
+is a faithful equivalence relation.  The unit suite pins behaviour on
+hand-written streams; this suite guards against the unbounded tail of
+orderings the simulator can legally emit.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.analytics import (
+    check_migration_pairing,
+    check_sleep_wake,
+    diff_frames,
+    event_counts,
+    frame_from_events,
+    migration_matrix,
+    overload_episodes,
+    overloaded_per_round,
+    pm_activity,
+    pm_timeline,
+)
+
+rounds = st.integers(min_value=0, max_value=20)
+pms = st.integers(min_value=0, max_value=6)
+vms = st.integers(min_value=0, max_value=10)
+
+
+@st.composite
+def events(draw):
+    kind = draw(
+        st.sampled_from(
+            [
+                "migration",
+                "eviction",
+                "pm_sleep",
+                "pm_wake",
+                "pm_crash",
+                "pm_restart",
+                "overload_enter",
+                "overload_exit",
+                "q_push",
+            ]
+        )
+    )
+    event = {"ev": kind, "round": draw(rounds), "node": draw(pms)}
+    if kind == "migration":
+        event.update(vm=draw(vms), dst=draw(pms), energy_j=1.0)
+    elif kind == "eviction":
+        event.update(
+            vm=draw(vms),
+            peer=draw(pms),
+            outcome=draw(
+                st.sampled_from(["migrated", "q_in_reject", "capacity_reject"])
+            ),
+        )
+    elif kind == "q_push":
+        event.update(peer=draw(pms))
+    return event
+
+
+streams = st.lists(events(), max_size=60)
+
+
+@given(streams)
+@settings(max_examples=100, deadline=None)
+def test_analyses_total_and_never_crash(stream):
+    """Every analysis runs on any valid stream and accounts for every event."""
+    frame = frame_from_events(stream)
+    assert frame.n_events == len(stream)
+    counts = event_counts(frame)
+    assert sum(counts.values()) == len(stream)
+    # per-kind columns always align
+    for kind in frame.kinds:
+        cols = frame.columns[kind]
+        lengths = {len(col) for col in cols.values()}
+        assert lengths == {counts[kind]}
+    activity = pm_activity(frame)
+    assert sum(n for per_pm in activity.values() for n in per_pm.values()) == len(
+        stream
+    )
+    for pm in activity:
+        timeline = pm_timeline(frame, pm)
+        assert len(timeline) == sum(activity[pm].values())
+        assert [e["round"] for e in timeline] == sorted(
+            e["round"] for e in timeline
+        )
+    assert migration_matrix(frame).sum() == counts.get("migration", 0)
+    episodes, violations = overload_episodes(frame)
+    # every enter opens an episode unless a later enter overwrote it (a
+    # flagged violation); every unmatched exit is a violation too
+    n_exit_violations = sum("without a matching" in v for v in violations)
+    n_double_enters = sum("still open" in v for v in violations)
+    assert len(episodes) == counts.get("overload_enter", 0) - n_double_enters
+    assert (
+        len([e for e in episodes if e[2] is not None]) + n_exit_violations
+        == counts.get("overload_exit", 0)
+    )
+    overloaded_rounds, overloaded_counts = overloaded_per_round(frame)
+    assert len(overloaded_rounds) == len(overloaded_counts)
+    check_migration_pairing(frame)
+    check_sleep_wake(frame)
+
+
+@given(streams)
+@settings(max_examples=100, deadline=None)
+def test_migration_pairing_flags_exactly_the_imbalance(stream):
+    """Violation count equals the multiset imbalance seeded into the stream."""
+    frame = frame_from_events(stream)
+    accepted = Counter(
+        (e["round"], e["vm"], e["node"], e["peer"])
+        for e in stream
+        if e["ev"] == "eviction" and e["outcome"] == "migrated"
+    )
+    migrated = Counter(
+        (e["round"], e["vm"], e["node"], e["dst"])
+        for e in stream
+        if e["ev"] == "migration"
+    )
+    expected = sum(1 for k in accepted if migrated.get(k, 0) < accepted[k])
+    if accepted:
+        expected += sum(1 for k in migrated if accepted.get(k, 0) < migrated[k])
+    assert len(check_migration_pairing(frame)) == expected
+
+
+@given(streams)
+@settings(max_examples=100, deadline=None)
+def test_sleep_wake_flags_exactly_double_sleeps(stream):
+    frame = frame_from_events(stream)
+    asleep = set()
+    expected = 0
+    ordered = sorted(
+        (e for e in stream if e["ev"].startswith("pm_")),
+        key=lambda e: e["round"],
+    )
+    # stable sort preserves file order within a round, matching the checker
+    for e in ordered:
+        if e["ev"] == "pm_sleep":
+            if e["node"] in asleep:
+                expected += 1
+            asleep.add(e["node"])
+        elif e["ev"] in ("pm_wake", "pm_restart", "pm_crash"):
+            asleep.discard(e["node"])
+    assert len(check_sleep_wake(frame)) == expected
+
+
+@given(streams, streams)
+@settings(max_examples=100, deadline=None)
+def test_diff_is_an_equivalence_verdict(a, b):
+    frame_a, frame_b = frame_from_events(a), frame_from_events(b)
+    assert diff_frames(frame_a, frame_a)["identical"] is True
+    diff_ab = diff_frames(frame_a, frame_b)
+    diff_ba = diff_frames(frame_b, frame_a)
+    assert diff_ab["identical"] == diff_ba["identical"]
+    assert diff_ab["first_divergence_round"] == diff_ba["first_divergence_round"]
+    assert diff_ab["count_deltas"] == {
+        k: -v for k, v in diff_ba["count_deltas"].items()
+    }
+    # same per-round per-kind counts on both sides => verdict "identical"
+    per_round_a = Counter((e["round"], e["ev"]) for e in a)
+    per_round_b = Counter((e["round"], e["ev"]) for e in b)
+    assert diff_ab["identical"] == (per_round_a == per_round_b)

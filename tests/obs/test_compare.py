@@ -122,3 +122,59 @@ class TestFormatting:
         lines = text.splitlines()
         assert lines[0].startswith("[FAIL]")
         assert "failing finding(s)" in lines[-1]
+
+
+def telemetry_section():
+    return {
+        "version": 1,
+        "rounds_observed": 20,
+        "totals": {"net/sent": 100.0, "glap/migrations_accepted": 7.0},
+        "gauges": {"glap/q_cosine": {"rounds": [0, 10], "values": [0.3, 0.99]}},
+    }
+
+
+class TestTelemetryGate:
+    def test_identical_telemetry_passes(self):
+        base = summary()
+        base["telemetry"] = telemetry_section()
+        assert compare_summaries(base, copy.deepcopy(base)) == []
+
+    def test_total_drift_fails(self):
+        base = summary()
+        base["telemetry"] = telemetry_section()
+        cur = copy.deepcopy(base)
+        cur["telemetry"]["totals"]["glap/migrations_accepted"] = 8.0
+        findings = compare_summaries(base, cur)
+        assert any(
+            f.fails and f.category == "telemetry_drift"
+            and f.key == "total/glap/migrations_accepted"
+            for f in findings
+        )
+
+    def test_missing_total_fails(self):
+        base = summary()
+        base["telemetry"] = telemetry_section()
+        cur = copy.deepcopy(base)
+        del cur["telemetry"]["totals"]["net/sent"]
+        findings = compare_summaries(base, cur)
+        assert any(f.fails and f.category == "telemetry_drift" for f in findings)
+
+    def test_final_gauge_drift_fails(self):
+        base = summary()
+        base["telemetry"] = telemetry_section()
+        cur = copy.deepcopy(base)
+        cur["telemetry"]["gauges"]["glap/q_cosine"]["values"][-1] = 0.97
+        findings = compare_summaries(base, cur)
+        assert any(
+            f.fails and f.category == "telemetry_drift"
+            and f.key == "gauge/glap/q_cosine"
+            for f in findings
+        )
+
+    def test_one_sided_telemetry_warns_only(self):
+        base = summary()
+        cur = copy.deepcopy(base)
+        cur["telemetry"] = telemetry_section()
+        findings = compare_summaries(base, cur)
+        assert findings and not any(f.fails for f in findings)
+        assert any(f.category == "telemetry_coverage" for f in findings)

@@ -276,3 +276,117 @@ class TestSweepCommand:
         assert rc == 0
         text = capsys.readouterr().out
         assert "Figure 6" in text and "Table I" in text
+
+
+class TestRunTelemetry:
+    RUN_ARGS = ["run", "--policy", "GLAP", "--pms", "10", "--ratio", "2",
+                "--rounds", "8", "--warmup", "35"]
+
+    def test_telemetry_prints_line_and_embeds_summary_section(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.summary import load_summary
+        from repro.obs.telemetry import TELEMETRY_VERSION
+
+        path = tmp_path / "b.json"
+        rc = main(self.RUN_ARGS + ["--telemetry", "--convergence-every", "5",
+                                   "--bench-out", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and "Q-cosine" in out
+        section = load_summary(path)["telemetry"]
+        assert section["version"] == TELEMETRY_VERSION
+        totals = section["totals"]
+        assert totals["net/sent"] == totals["net/delivered"] + totals["net/dropped"]
+        gauge = section["gauges"]["glap/q_cosine"]
+        assert gauge["rounds"][:2] == [0, 5]
+
+    def test_no_telemetry_summary_has_no_section(self, tmp_path):
+        from repro.obs.summary import load_summary
+
+        path = tmp_path / "b.json"
+        rc = main(self.RUN_ARGS + ["--bench-out", str(path)])
+        assert rc == 0
+        assert "telemetry" not in load_summary(path)
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        summary = tmp_path / "b.json"
+        rc = main(["run", "--policy", "GLAP", "--pms", "10", "--ratio", "2",
+                   "--rounds", "8", "--warmup", "35", "--telemetry",
+                   "--trace", str(trace), "--bench-out", str(summary)])
+        assert rc == 0
+        return trace, summary
+
+    def test_trace_with_summary_is_healthy(self, artifacts, tmp_path, capsys):
+        trace, summary = artifacts
+        report_path = tmp_path / "health.json"
+        rc = main(["analyze", str(trace), "--summary", str(summary),
+                   "--min-convergence", "0.0", "--json", str(report_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out and "0 violations" in out
+        report = json.loads(report_path.read_text())
+        assert report["healthy"] is True
+        assert "message_conservation" in report["checks_run"]
+        assert "convergence_threshold" in report["checks_run"]
+
+    def test_summary_target_auto_detected(self, artifacts, capsys):
+        _, summary = artifacts
+        rc = main(["analyze", str(summary)])
+        assert rc == 0
+        assert "message_conservation" in capsys.readouterr().out
+
+    def test_unreachable_convergence_fails(self, artifacts, capsys):
+        trace, summary = artifacts
+        rc = main(["analyze", str(trace), "--summary", str(summary),
+                   "--min-convergence", "1.1"])
+        assert rc == 1
+        assert "UNHEALTHY" in capsys.readouterr().out
+
+    def test_violating_trace_exits_1(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text(json.dumps({
+            "ev": "eviction", "round": 3, "node": 1, "peer": 2, "vm": 7,
+            "outcome": "migrated",
+        }) + "\n")
+        rc = main(["analyze", str(trace)])
+        assert rc == 1
+        assert "migration_pairing" in capsys.readouterr().out
+
+    def test_usage_errors_exit_2(self, artifacts, tmp_path, capsys):
+        trace, summary = artifacts
+        assert main(["analyze"]) == 2
+        assert main(["analyze", str(tmp_path / "missing.jsonl")]) == 2
+        assert main(["analyze", str(trace), "--diff", str(trace), str(trace)]) == 2
+        assert main(["analyze", "--diff", str(trace), str(trace),
+                     "--min-convergence", "0.5"]) == 2
+        garbled = tmp_path / "garbled.jsonl"
+        garbled.write_text('{"ev": "not-a-kind", "round": 0, "node": 0}\n')
+        assert main(["analyze", str(garbled)]) == 2
+        # a summary without telemetry cannot be analysed on its own
+        no_tel = tmp_path / "no_tel.json"
+        rc = main(["run", "--policy", "GRMP", "--pms", "10", "--ratio", "2",
+                   "--rounds", "4", "--warmup", "6", "--bench-out", str(no_tel)])
+        assert rc == 0
+        assert main(["analyze", str(no_tel)]) == 2
+        assert "telemetry" in capsys.readouterr().err
+
+    def test_diff_exit_codes(self, artifacts, tmp_path, capsys):
+        trace, _ = artifacts
+        assert main(["analyze", "--diff", str(trace), str(trace)]) == 0
+        assert "identical" in capsys.readouterr().out
+        other = tmp_path / "other.jsonl"
+        rc = main(["run", "--policy", "GLAP", "--pms", "10", "--ratio", "2",
+                   "--rounds", "8", "--warmup", "35", "--seed", "77",
+                   "--trace", str(other)])
+        assert rc == 0
+        diff_json = tmp_path / "diff.json"
+        rc = main(["analyze", "--diff", str(trace), str(other),
+                   "--json", str(diff_json)])
+        assert rc == 1
+        assert "differ" in capsys.readouterr().out
+        assert json.loads(diff_json.read_text())["identical"] is False
