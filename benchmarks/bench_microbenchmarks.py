@@ -6,6 +6,7 @@ a 5-minute sweep into an hour.
 """
 
 import numpy as np
+import pytest
 
 from repro.core.learning import LocalTrainer, VmProfile
 from repro.core.qlearning import QLearningModel
@@ -94,24 +95,52 @@ def test_cyclon_round(benchmark):
     benchmark(sim.run_round)
 
 
-def _big_dc(n_pms=2000, ratio=4, rounds=16):
+def _big_dc(n_pms=2000, ratio=4, rounds=16, backend=None):
     """A paper-scale data centre (2000 PMs x ratio 4 = 8000 VMs)."""
     n_vms = n_pms * ratio
     trace = GoogleLikeTraceGenerator(
         GoogleTraceParams(rounds_per_day=rounds)
     ).generate(n_vms, rounds, np.random.default_rng(0))
-    dc = DataCenter(n_pms, n_vms, trace)
+    dc = DataCenter(n_pms, n_vms, trace, backend=backend)
     dc.place_randomly(np.random.default_rng(1))
     dc.advance_round()
     return dc
 
 
-def test_advance_round_2000pms(benchmark):
-    dc = _big_dc()
+# The 2000-PM cells run against both layouts so a local
+# ``pytest benchmarks/bench_microbenchmarks.py`` shows the columnar-
+# vs-object spread directly; the recorded ≥5x gate lives in
+# ``bench_columnar.py`` / ``BENCH_columnar.json``.
+BACKENDS = ("object", "columnar")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_advance_round_2000pms(benchmark, backend):
+    dc = _big_dc(backend=backend)
     # advance_round wraps at the trace length, so repetition is safe.
     benchmark(dc.advance_round)
 
 
-def test_utilization_matrix_2000pms(benchmark):
-    dc = _big_dc()
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_utilization_matrix_2000pms(benchmark, backend):
+    dc = _big_dc(backend=backend)
     benchmark(dc.utilization_matrix)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_eviction_scoring_2000pms(benchmark, backend):
+    # Plain import: benchmarks/ is not a package, so pytest puts this
+    # module's directory on sys.path (rootdir-relative imports vary by
+    # invocation; this form works under both `pytest` and `python -m pytest`).
+    from bench_columnar import eviction_scoring
+
+    dc = _big_dc(backend=backend)
+    benchmark(eviction_scoring, dc)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_invariant_check_2000pms(benchmark, backend):
+    from repro.simulator.observer import check_datacenter_invariants
+
+    dc = _big_dc(backend=backend)
+    benchmark(check_datacenter_invariants, dc)

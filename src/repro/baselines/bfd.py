@@ -53,24 +53,44 @@ def bfd_pack(demands: np.ndarray, capacity: np.ndarray) -> List[List[int]]:
     sizes = (demands / capacity).sum(axis=1)
     order = np.argsort(-sizes, kind="stable")
 
+    # Open-bin residuals live in pre-sized per-resource columns so the
+    # best-fit scan is a handful of whole-array ops instead of a Python
+    # loop over bins.  Selection semantics match the scalar scan
+    # exactly: a bin fits iff the item is <= its residual in every
+    # resource; slack is (res0-i0)/c0 + (res1-i1)/c1 — the same
+    # left-to-right sum the row-wise ``((res-item)/capacity).sum()``
+    # computed; slack is evaluated only on the fitting subset, whose
+    # ascending bin order makes ``argmin`` return the lowest-indexed
+    # minimum exactly as the strict ``<`` update did.
+    n = demands.shape[0]
+    res = [np.empty(n, dtype=np.float64) for _ in range(N_RESOURCES)]
+    fit_buf = np.empty(n, dtype=bool)
+    tmp_buf = np.empty(n, dtype=bool)
+    cap = [float(c) for c in capacity]
     bins: List[List[int]] = []
-    residuals: List[np.ndarray] = []
+    n_open = 0
     for idx in order:
-        item = demands[idx]
+        item = [float(d) for d in demands[idx]]
         best_bin = -1
-        best_slack = np.inf
-        for b, res in enumerate(residuals):
-            if np.all(item <= res):
-                slack = float(((res - item) / capacity).sum())
-                if slack < best_slack:
-                    best_slack = slack
-                    best_bin = b
+        if n_open:
+            fits = np.greater_equal(res[0][:n_open], item[0], out=fit_buf[:n_open])
+            for r in range(1, N_RESOURCES):
+                fits &= np.greater_equal(res[r][:n_open], item[r], out=tmp_buf[:n_open])
+            cand = np.flatnonzero(fits)
+            if cand.size:
+                slack = (res[0][cand] - item[0]) / cap[0]
+                for r in range(1, N_RESOURCES):
+                    slack += (res[r][cand] - item[r]) / cap[r]
+                best_bin = int(cand[np.argmin(slack)])
         if best_bin < 0:
             bins.append([int(idx)])
-            residuals.append(capacity - item)
+            for r in range(N_RESOURCES):
+                res[r][n_open] = cap[r] - item[r]
+            n_open += 1
         else:
             bins[best_bin].append(int(idx))
-            residuals[best_bin] -= item
+            for r in range(N_RESOURCES):
+                res[r][best_bin] -= item[r]
     return bins
 
 
@@ -78,6 +98,7 @@ def bfd_baseline_active_pms(dc: DataCenter) -> int:
     """Minimum active PMs per BFD on *current* VM demands (Figure 6)."""
     if dc.n_vms == 0:
         return 0
-    demands = np.vstack([vm.current_demand_abs() for vm in dc.vms])
+    # One whole-array multiply == row-wise vm.current_demand_abs().
+    demands = dc._cur * dc._vm_cap
     capacity = dc.pms[0].spec.capacity_vector()
     return len(bfd_pack(demands, capacity))

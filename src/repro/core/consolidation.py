@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import numpy as np
 
 from repro.core.qlearning import QLearningModel
 from repro.core.states import pm_state, vm_action
@@ -199,6 +200,9 @@ class GlapConsolidationProtocol(Protocol):
         self, model: QLearningModel, sender: PhysicalMachine
     ) -> Optional[Tuple[int, VirtualMachine]]:
         """``findVM(s_p)``: best action by Q_out, then cheapest VM of it."""
+        store = getattr(sender, "store", None)
+        if store is not None:
+            return self._find_vm_columnar(model, sender, store)
         vms = sender.vms
         if not vms:
             return None
@@ -216,6 +220,32 @@ class GlapConsolidationProtocol(Protocol):
             key=lambda v: (v.current_demand_abs()[1], v.vm_id),
         )
         return action, vm
+
+    def _find_vm_columnar(
+        self, model: QLearningModel, sender: PhysicalMachine, store
+    ) -> Optional[Tuple[int, VirtualMachine]]:
+        """Whole-array ``findVM``: action codes, distinct-action list and
+        cheapest-VM selection without per-VM Python objects.
+
+        Matches the object path exactly: distinct actions are offered to
+        ``pi_out`` in first-seen membership order (dict-key order above),
+        and the winner's VM is the minimum of ``(current memory demand,
+        vm_id)``.
+        """
+        idx = store.member_index(sender.pm_id)
+        if idx.size == 0:
+            return None
+        s_p = pm_state(sender, use_average=True)
+        codes = store.vm_action_codes(idx, use_average=True)
+        uniq, first = np.unique(codes, return_index=True)
+        available = [int(a) for a in uniq[np.argsort(first, kind="stable")]]
+        action = model.pi_out(s_p, available)
+        if action is None:
+            return None
+        cand = idx[codes == action]
+        mem = store.cur[cand, 1] * store.vm_cap[cand, 1]
+        best = int(cand[np.lexsort((cand, mem))[0]])
+        return action, store.vms[best]
 
     def _switch_off(self, pm: PhysicalMachine, sim: "Simulation") -> None:
         pm.asleep = True

@@ -10,10 +10,12 @@ and the baselines.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.datacenter.columnar import ColumnarStore
 from repro.datacenter.migration import MigrationModel, MigrationRecord
 from repro.datacenter.pm import PhysicalMachine
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -30,7 +32,30 @@ from repro.util.validation import check_positive
 if TYPE_CHECKING:  # pragma: no cover - break the traces<->datacenter cycle
     from repro.traces.base import TraceSource
 
-__all__ = ["DataCenter"]
+__all__ = ["DataCenter", "default_backend", "BACKENDS"]
+
+#: Supported state layouts.  ``columnar`` is the struct-of-arrays store
+#: (the default, and the only one that scales past a few thousand PMs);
+#: ``object`` is the original per-object layout, kept as the reference
+#: implementation the differential equivalence suite compares against.
+BACKENDS = ("columnar", "object")
+
+
+def default_backend() -> str:
+    """The backend used when ``DataCenter(backend=None)``.
+
+    Overridable via the ``GLAP_DC_BACKEND`` environment variable, which
+    exists so the whole test suite (goldens included) can be replayed on
+    the object path without touching call sites.
+    """
+    env = os.environ.get("GLAP_DC_BACKEND", "").strip().lower()
+    if not env:
+        return "columnar"
+    if env not in BACKENDS:
+        raise ValueError(
+            f"GLAP_DC_BACKEND={env!r} not recognised; expected one of {BACKENDS}"
+        )
+    return env
 
 
 class DataCenter:
@@ -50,6 +75,11 @@ class DataCenter:
         Hardware models.
     migration_model:
         Cost model shared by every policy.
+    backend:
+        State layout — ``"columnar"`` (struct-of-arrays store, default)
+        or ``"object"`` (per-object reference path).  ``None`` resolves
+        via :func:`default_backend`.  Both layouts are bit-identical;
+        the differential suite in ``tests/datacenter`` pins that.
     """
 
     def __init__(
@@ -61,6 +91,7 @@ class DataCenter:
         pm_spec: MachineSpec = HP_PROLIANT_ML110_G5,
         vm_spec: MachineSpec = EC2_MICRO,
         migration_model: Optional[MigrationModel] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if n_pms <= 0:
             raise ValueError(f"n_pms must be > 0, got {n_pms}")
@@ -70,13 +101,48 @@ class DataCenter:
             raise ValueError(
                 f"trace provides {trace.n_vms} VM series but {n_vms} VMs requested"
             )
+        self.backend = backend if backend is not None else default_backend()
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
         self.round_seconds = check_positive(round_seconds, "round_seconds")
-        self.pms: List[PhysicalMachine] = [
-            PhysicalMachine(i, pm_spec) for i in range(n_pms)
-        ]
-        self.vms: List[VirtualMachine] = [
-            VirtualMachine(i, vm_spec) for i in range(n_vms)
-        ]
+        #: The struct-of-arrays state store (``None`` on the object
+        #: backend).  All hot-path array access goes through it; the
+        #: ``pms`` / ``vms`` lists then hold flyweight views whose
+        #: attributes are properties into the same arrays.
+        self.store: Optional[ColumnarStore]
+        self.pms: List[PhysicalMachine]
+        self.vms: List[VirtualMachine]
+        if self.backend == "columnar":
+            self.store = ColumnarStore(n_pms, n_vms, pm_spec=pm_spec, vm_spec=vm_spec)
+            self.pms = list(self.store.pms)
+            self.vms = list(self.store.vms)
+            # The demand matrices ARE the store's columns; monitors
+            # alias their rows by construction, no bind() needed.
+            self._cur = self.store.cur
+            self._avg = self.store.avg
+            self._vm_cap = self.store.vm_cap
+            self._pm_cap = self.store.pm_cap
+            self._vm_cpu_mips = self.store.vm_cpu_mips
+            self._pm_cpu_mips = self.store.pm_cpu_mips
+        else:
+            self.store = None
+            self.pms = [PhysicalMachine(i, pm_spec) for i in range(n_pms)]
+            self.vms = [VirtualMachine(i, vm_spec) for i in range(n_vms)]
+            # Columnar demand state: every VM monitor's current/average
+            # row is a view into these matrices, so one vectorised
+            # assignment per round refreshes all monitors at once
+            # (advance_round) and the aggregate views reduce to
+            # bincount/matrix ops instead of per-object Python loops.
+            self._cur = np.zeros((n_vms, N_RESOURCES), dtype=np.float64)
+            self._avg = np.zeros((n_vms, N_RESOURCES), dtype=np.float64)
+            for i, vm in enumerate(self.vms):
+                vm.monitor.bind(self._cur[i], self._avg[i])
+            self._vm_cap = np.vstack([vm.spec.capacity_vector() for vm in self.vms])
+            self._pm_cap = np.vstack([pm.spec.capacity_vector() for pm in self.pms])
+            self._vm_cpu_mips = self._vm_cap[:, CPU].copy()
+            self._pm_cpu_mips = self._pm_cap[:, CPU].copy()
         self._pm_by_id: Dict[int, PhysicalMachine] = {p.pm_id: p for p in self.pms}
         self._vm_by_id: Dict[int, VirtualMachine] = {v.vm_id: v for v in self.vms}
         self.trace = trace
@@ -88,19 +154,6 @@ class DataCenter:
         #: Structured event tracer (no-op by default; the runner installs
         #: a real one for `--trace` runs).  Never consumes randomness.
         self.tracer: Tracer = NULL_TRACER
-        # Columnar demand state: every VM monitor's current/average row is
-        # a view into these matrices, so one vectorised assignment per
-        # round refreshes all monitors at once (advance_round) and the
-        # aggregate views (utilization_matrix, overloaded_count) reduce
-        # to bincount/matrix ops instead of per-object Python loops.
-        self._cur = np.zeros((n_vms, N_RESOURCES), dtype=np.float64)
-        self._avg = np.zeros((n_vms, N_RESOURCES), dtype=np.float64)
-        for i, vm in enumerate(self.vms):
-            vm.monitor.bind(self._cur[i], self._avg[i])
-        self._vm_cap = np.vstack([vm.spec.capacity_vector() for vm in self.vms])
-        self._pm_cap = np.vstack([pm.spec.capacity_vector() for pm in self.pms])
-        self._vm_cpu_mips = self._vm_cap[:, CPU].copy()
-        self._pm_cpu_mips = self._pm_cap[:, CPU].copy()
 
     # -- lookups ----------------------------------------------------------
 
@@ -144,6 +197,11 @@ class DataCenter:
         """
         if len(hosts) != self.n_vms:
             raise ValueError(f"expected {self.n_vms} host ids, got {len(hosts)}")
+        if self.store is not None and not np.any(self.store.host >= 0):
+            # Vectorised install on an empty store; membership order is
+            # ascending vm_id per PM, exactly as the loop below builds it.
+            self.store.apply_placement(np.asarray(hosts, dtype=np.int64))
+            return
         for vm, host in zip(self.vms, hosts):
             if vm.host_id is not None:
                 self.pm(vm.host_id).remove_vm(vm.vm_id)
@@ -151,6 +209,8 @@ class DataCenter:
 
     def placement(self) -> np.ndarray:
         """Current VM→PM mapping as an array (``-1`` if unplaced)."""
+        if self.store is not None:
+            return self.store.host.copy()
         return np.array(
             [vm.host_id if vm.host_id is not None else -1 for vm in self.vms],
             dtype=np.int64,
@@ -177,6 +237,12 @@ class DataCenter:
             )
         if np.any(demands < 0.0) or np.any(demands > 1.0):
             raise ValueError("demand fractions must be in [0, 1]")
+        if self.store is not None:
+            # Whole-array round update: monitors, SLALM accrual and
+            # SLAVO accounting in a handful of vector ops, element-wise
+            # identical to the object path below.
+            self.store.advance_round_update(demands, self.round_seconds)
+            return self.current_round
         # The paper's {c, v} piggyback update, for every monitor at once:
         # v' = (c*v + d) / (c + 1).  Counts are gathered (not assumed
         # uniform) so directly-observed monitors stay correct.
@@ -236,6 +302,9 @@ class DataCenter:
         """Zero SLA and migration accounting (between warmup and
         evaluation) without touching placement, demand or sleep state."""
         self.migrations.clear()
+        if self.store is not None:
+            self.store.reset_accounting()
+            return
         for pm in self.pms:
             pm.active_seconds = 0.0
             pm.saturated_seconds = 0.0
@@ -247,13 +316,21 @@ class DataCenter:
     # -- aggregate views -----------------------------------------------------------
 
     def active_pms(self) -> List[PhysicalMachine]:
+        if self.store is not None:
+            pms = self.pms
+            return [pms[i] for i in np.flatnonzero(~self.store.pm_asleep)]
         return [pm for pm in self.pms if not pm.asleep]
 
     def active_count(self) -> int:
+        if self.store is not None:
+            return int(np.count_nonzero(~self.store.pm_asleep))
         return sum(1 for pm in self.pms if not pm.asleep)
 
     def awake_mask(self) -> np.ndarray:
-        """Boolean (n_pms,) array: True where the PM is awake."""
+        """Boolean (n_pms,) array: True where the PM is awake (a fresh
+        array each call — safe for callers to mask/index with)."""
+        if self.store is not None:
+            return self.store.awake_mask()
         return np.fromiter(
             (not pm.asleep for pm in self.pms), dtype=bool, count=self.n_pms
         )
@@ -261,7 +338,16 @@ class DataCenter:
     def pm_demand_matrix(self, *, use_average: bool = False) -> np.ndarray:
         """(n_pms, N_RESOURCES) absolute demand ([MIPS, MB]) aggregated
         per host PM, uncapped; sleep state is ignored (a sleeping PM's
-        hosted VMs still show up, as in ``PhysicalMachine.demand_vector``)."""
+        hosted VMs still show up, as in ``PhysicalMachine.demand_vector``).
+
+        Returned read-only: it is a derived snapshot, and freezing it
+        guarantees a caller mutating its copy of "the utilisations"
+        cannot silently corrupt simulator state.
+        """
+        if self.store is not None:
+            out = self.store.pm_demand_matrix(use_average=use_average)
+            out.setflags(write=False)
+            return out
         frac = self._avg if use_average else self._cur
         abs_demand = frac * self._vm_cap
         hosts = self.placement()
@@ -272,10 +358,13 @@ class DataCenter:
             out[:, r] = np.bincount(
                 h, weights=abs_demand[placed, r], minlength=self.n_pms
             )
+        out.setflags(write=False)
         return out
 
     def pm_cpu_demand_mips(self) -> np.ndarray:
         """(n_pms,) aggregate current CPU demand in MIPS, uncapped."""
+        if self.store is not None:
+            return self.store.pm_cpu_demand_mips()
         hosts = self.placement()
         placed = hosts >= 0
         return np.bincount(
@@ -286,9 +375,11 @@ class DataCenter:
 
     def cpu_utilizations(self) -> np.ndarray:
         """(n_pms,) current CPU utilisation fractions, capped at 1
-        (vectorised counterpart of ``PhysicalMachine.cpu_utilization``)."""
+        (vectorised counterpart of ``PhysicalMachine.cpu_utilization``).
+        Returned read-only — see :meth:`pm_demand_matrix`."""
         u = self.pm_cpu_demand_mips() / self._pm_cpu_mips
         np.minimum(u, 1.0, out=u)
+        u.setflags(write=False)
         return u
 
     def overloaded_count(self) -> int:
@@ -297,10 +388,12 @@ class DataCenter:
         return int(np.count_nonzero(overloaded & self.awake_mask()))
 
     def utilization_matrix(self, *, use_average: bool = False) -> np.ndarray:
-        """(n_pms, N_RESOURCES) utilisation snapshot; sleeping PMs are 0."""
+        """(n_pms, N_RESOURCES) utilisation snapshot; sleeping PMs are 0.
+        Returned read-only — see :meth:`pm_demand_matrix`."""
         u = self.pm_demand_matrix(use_average=use_average) / self._pm_cap
         np.minimum(u, 1.0, out=u)
         u[~self.awake_mask()] = 0.0
+        u.setflags(write=False)
         return u
 
     def total_migration_energy_j(self) -> float:

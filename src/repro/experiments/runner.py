@@ -348,10 +348,17 @@ def run_policy(
     sim.network.profiler = prof
     # Installed before controller.install and policy.attach so both can
     # register their counter providers; registration order is fixed
-    # (net, faults, policy) and re-run identically on resume.
+    # (net, dc gauges, faults, policy) and re-run identically on resume
+    # (mirrored in restore_checkpoint).
     sim.telemetry = telemetry
     if telemetry.enabled:
         telemetry.register_counters("net", sim.network.telemetry_counters)
+        # Data-centre level gauges: sampled straight off the columnar
+        # store's arrays (O(n_pms) vector ops), never consume randomness.
+        telemetry.register_gauge("dc/active_pms", lambda: float(dc.active_count()))
+        telemetry.register_gauge(
+            "dc/overloaded_pms", lambda: float(dc.overloaded_count())
+        )
 
     plan = faults if faults is not None else scenario.faults
     controller: Optional[FaultController] = None

@@ -67,32 +67,32 @@ def _violation(round_index: Optional[int], message: str) -> InvariantViolation:
     return InvariantViolation(where + message)
 
 
-def check_datacenter_invariants(
-    dc: "DataCenter",
-    sim: Optional["Simulation"] = None,
-    round_index: Optional[int] = None,
-    *,
-    atol: float = 1e-9,
+def _check_node_pm_coherence(
+    sim: "Simulation", round_index: Optional[int]
 ) -> None:
-    """Check every conservation law; raise :class:`InvariantViolation` on
-    the first breach.
+    for node in sim.nodes:
+        pm = node.payload
+        if pm is None or not hasattr(pm, "asleep"):
+            continue  # engine-only populations carry no PM payloads
+        if node.is_sleeping and not pm.asleep:
+            raise _violation(
+                round_index,
+                f"node {node.node_id} is sleeping but PM is marked awake",
+            )
+        if pm.asleep and node.is_up:
+            raise _violation(
+                round_index,
+                f"PM {pm.pm_id} is asleep but node {node.node_id} is UP",
+            )
 
-    The laws (promoted from the integration test-suite so any run — not
-    just a test — can assert them):
 
-    * **VM conservation** — every VM is hosted by exactly one PM; none is
-      lost or duplicated, and host back-references agree.
-    * **Sleeping PMs are empty** — a switched-off PM hosts no VMs.
-    * **Utilisation-view consistency** — a PM's demand vector equals the
-      sum of its VMs' absolute demands (the gossip state protocols read
-      these views; a drifted cache would mis-place VMs silently).
-    * **Migration-record sanity** — round stamps are monotone, no
-      self-migrations, durations positive.
-    * **Node/PM state coherence** (when ``sim`` is given) — a sleeping
-      node's PM is marked asleep and an asleep PM's node is not UP;
-      failed nodes are exempt (a crash leaves the PM flag wherever the
-      crash found it).
-    """
+def _check_object_state(
+    dc: "DataCenter",
+    sim: Optional["Simulation"],
+    round_index: Optional[int],
+    atol: float,
+) -> None:
+    """Per-object reference walk of every structural/numeric law."""
     hosted = sorted(vm.vm_id for pm in dc.pms for vm in pm.vms)
     if hosted != list(range(dc.n_vms)):
         seen = set()
@@ -125,10 +125,99 @@ def check_datacenter_invariants(
                 f"PM {pm.pm_id} utilisation view {actual} != VM sum {expected}",
             )
 
-    rounds = [m.round_index for m in dc.migrations]
-    if rounds != sorted(rounds):
-        raise _violation(round_index, "migration log round stamps out of order")
-    for m in dc.migrations:
+    if sim is not None:
+        _check_node_pm_coherence(sim, round_index)
+
+
+def _check_columnar_state(
+    dc: "DataCenter",
+    sim: Optional["Simulation"],
+    round_index: Optional[int],
+    atol: float,
+) -> None:
+    """Whole-array equivalent of :func:`_check_object_state`.
+
+    The membership lists and the ``host`` column are independent
+    structural records of the same placement; the check verifies them
+    against each other (conservation, back-references, sleeping-empty)
+    and then cross-checks the two aggregation routes numerically, all
+    without touching a per-PM Python loop.
+    """
+    store = dc.store
+    assert store is not None
+    n_pms, n_vms = store.n_pms, store.n_vms
+    indptr, indices = store.csr()
+    counts = np.diff(indptr)
+
+    seen = np.bincount(indices, minlength=n_vms) if indices.size else np.zeros(
+        n_vms, dtype=np.int64
+    )
+    if indices.size != n_vms or np.any(seen != 1):
+        dupes = sorted(np.flatnonzero(seen > 1).tolist())
+        missing = sorted(np.flatnonzero(seen == 0).tolist())
+        raise _violation(
+            round_index,
+            f"VM conservation broken: duplicated={dupes} missing={missing}",
+        )
+
+    owner = np.repeat(np.arange(n_pms, dtype=np.int64), counts)
+    mismatch = store.host[indices] != owner
+    if np.any(mismatch):
+        k = int(np.flatnonzero(mismatch)[0])
+        raise _violation(
+            round_index,
+            f"VM {int(indices[k])} on PM {int(owner[k])} claims host "
+            f"{int(store.host[indices[k]])}",
+        )
+
+    asleep_hosting = store.pm_asleep & (counts > 0)
+    if np.any(asleep_hosting):
+        p = int(np.flatnonzero(asleep_hosting)[0])
+        raise _violation(
+            round_index,
+            f"sleeping PM {p} still hosts VMs {sorted(store.members[p])}",
+        )
+
+    # Numeric coherence: aggregate by host column vs by membership lists.
+    abs_demand = store.cur * store.vm_cap
+    n_resources = abs_demand.shape[1]
+    for r in range(n_resources):
+        actual = np.bincount(
+            store.host, weights=abs_demand[:, r], minlength=n_pms
+        )
+        expected = np.bincount(
+            owner, weights=abs_demand[indices, r], minlength=n_pms
+        )
+        if not np.allclose(actual, expected, atol=atol):
+            p = int(np.flatnonzero(~np.isclose(actual, expected, atol=atol))[0])
+            raise _violation(
+                round_index,
+                f"PM {p} utilisation view {actual[p]} != VM sum {expected[p]} "
+                f"(resource {r})",
+            )
+
+    if sim is not None:
+        _check_node_pm_coherence(sim, round_index)
+
+
+def _check_migration_records(
+    migrations,
+    round_index: Optional[int],
+    *,
+    start: int = 0,
+    prev_round: Optional[int] = None,
+) -> Optional[int]:
+    """Check ``migrations[start:]``; returns the last round stamp seen.
+
+    The ``start``/``prev_round`` cursor lets :class:`InvariantObserver`
+    check only the records appended since its previous observation —
+    without it the per-round cost grows with the whole migration log.
+    """
+    last = prev_round
+    for m in migrations[start:]:
+        if last is not None and m.round_index < last:
+            raise _violation(round_index, "migration log round stamps out of order")
+        last = m.round_index
         if m.src_pm == m.dst_pm:
             raise _violation(
                 round_index, f"self-migration of VM {m.vm_id} on PM {m.src_pm}"
@@ -138,22 +227,43 @@ def check_datacenter_invariants(
                 round_index,
                 f"migration of VM {m.vm_id} has non-positive duration {m.duration_s}",
             )
+    return last
 
-    if sim is not None:
-        for node in sim.nodes:
-            pm = node.payload
-            if pm is None or not hasattr(pm, "asleep"):
-                continue  # engine-only populations carry no PM payloads
-            if node.is_sleeping and not pm.asleep:
-                raise _violation(
-                    round_index,
-                    f"node {node.node_id} is sleeping but PM is marked awake",
-                )
-            if pm.asleep and node.is_up:
-                raise _violation(
-                    round_index,
-                    f"PM {pm.pm_id} is asleep but node {node.node_id} is UP",
-                )
+
+def check_datacenter_invariants(
+    dc: "DataCenter",
+    sim: Optional["Simulation"] = None,
+    round_index: Optional[int] = None,
+    *,
+    atol: float = 1e-9,
+) -> None:
+    """Check every conservation law; raise :class:`InvariantViolation` on
+    the first breach.
+
+    The laws (promoted from the integration test-suite so any run — not
+    just a test — can assert them):
+
+    * **VM conservation** — every VM is hosted by exactly one PM; none is
+      lost or duplicated, and host back-references agree.
+    * **Sleeping PMs are empty** — a switched-off PM hosts no VMs.
+    * **Utilisation-view consistency** — a PM's demand vector equals the
+      sum of its VMs' absolute demands (the gossip state protocols read
+      these views; a drifted cache would mis-place VMs silently).
+    * **Migration-record sanity** — round stamps are monotone, no
+      self-migrations, durations positive.
+    * **Node/PM state coherence** (when ``sim`` is given) — a sleeping
+      node's PM is marked asleep and an asleep PM's node is not UP;
+      failed nodes are exempt (a crash leaves the PM flag wherever the
+      crash found it).
+
+    On the columnar backend the structural and numeric laws are checked
+    as whole-array operations; the object backend walks the objects.
+    """
+    if getattr(dc, "store", None) is not None:
+        _check_columnar_state(dc, sim, round_index, atol)
+    else:
+        _check_object_state(dc, sim, round_index, atol)
+    _check_migration_records(dc.migrations, round_index)
 
 
 class InvariantObserver(Observer):
@@ -170,10 +280,37 @@ class InvariantObserver(Observer):
         self.atol = atol
         self.rounds_checked = 0
         self.last_round_checked: Optional[int] = None
+        # Migration-log cursor: records before this index were already
+        # checked on a previous round, so each observation only scans the
+        # new tail (the full log is re-verified by any standalone
+        # check_datacenter_invariants call).
+        self._migrations_checked = 0
+        self._last_migration_round: Optional[int] = None
+        self._first_checked_record: Optional[object] = None
 
     def observe(self, round_index: int, sim: "Simulation") -> None:
-        check_datacenter_invariants(
-            self.dc, sim, round_index=round_index, atol=self.atol
+        dc = self.dc
+        if getattr(dc, "store", None) is not None:
+            _check_columnar_state(dc, sim, round_index, self.atol)
+        else:
+            _check_object_state(dc, sim, round_index, self.atol)
+        n = len(dc.migrations)
+        if self._migrations_checked > 0 and (
+            n == 0 or dc.migrations[0] is not self._first_checked_record
+        ):
+            # The log was cleared (dc.reset_accounting at the warmup/eval
+            # boundary, or a checkpoint restore): restart the cursor.
+            self._migrations_checked = 0
+            self._last_migration_round = None
+            self._first_checked_record = None
+        self._last_migration_round = _check_migration_records(
+            dc.migrations,
+            round_index,
+            start=self._migrations_checked,
+            prev_round=self._last_migration_round,
         )
+        self._migrations_checked = n
+        if n > 0:
+            self._first_checked_record = dc.migrations[0]
         self.rounds_checked += 1
         self.last_round_checked = round_index

@@ -51,8 +51,10 @@ class TestSwitchAccounting:
         dc = make_datacenter(n_pms=8, n_vms=16)
         topo = RackTopology(8, rack_size=4)
         for pm_id in (4, 5, 6, 7):
-            dc.pm(pm_id)._vms.clear()  # force-empty for the test
-            dc.pm(pm_id).asleep = True
+            pm = dc.pm(pm_id)
+            for vm in pm.vms:  # force-empty for the test
+                pm.remove_vm(vm.vm_id)
+            pm.asleep = True
         assert topo.active_switches(dc) == 1
 
     def test_one_awake_pm_keeps_switch_on(self):
