@@ -1,0 +1,198 @@
+"""Sharded advance-phase bench on the paper-scale 100k-PM cell.
+
+Times one simulation round's column update (``advance_round``) on the
+100k-PM / 400k-VM cell four ways: the plain single-process columnar
+store, and the shard protocol at K ∈ {1, 2, 4} worker processes over
+shared-memory views (phase-A barrier → global reduce → phase-B
+barrier).  K=1 isolates the protocol's fixed overhead — two barrier
+round-trips per round — from actual multi-core scaling; on a
+many-core runner K=2/4 should beat the unsharded round, on a 1-core
+box they honestly will not.
+
+Alongside the machine-dependent timings, the artifact pins a
+bit-exact digest of the store's ``avg``/``cur`` columns after the
+timed rounds, which must be *identical across all four configurations*
+— the determinism contract re-checked at paper scale — plus the
+process peak RSS (as a tolerance-gated timing: shared memory must not
+silently become per-worker copies).
+
+Running this module (``pytest benchmarks/bench_shard.py``) records
+``benchmarks/results/BENCH_shard.json`` (glap-bench schema); the
+nightly CI job gates it against the committed baseline::
+
+    glap bench-compare benchmarks/baselines/shard_baseline.json \
+        benchmarks/results/BENCH_shard.json --tolerance 2.0
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import os
+import resource
+import time
+from pathlib import Path
+from types import SimpleNamespace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datacenter.cluster import DataCenter
+from repro.experiments.sharding import ShardConfig, ShardRuntime
+from repro.obs.summary import sweep_summary, write_summary
+from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_shard.json"
+
+N_PMS = 100_000
+RATIO = 4
+N_VMS = N_PMS * RATIO
+TRACE_ROUNDS = 4
+SEED = 2016
+ROUNDS = 3  # best-of rounds
+REPS = 2  # advance_round calls per batch
+
+_TRACE = None
+
+
+def make_trace():
+    global _TRACE
+    if _TRACE is None:
+        _TRACE = GoogleLikeTraceGenerator(
+            GoogleTraceParams(rounds_per_day=TRACE_ROUNDS)
+        ).generate(N_VMS, TRACE_ROUNDS, np.random.default_rng(0))
+    return _TRACE
+
+
+def make_cell(n_shards: Optional[int]):
+    """A placed 100k-PM cell; sharded through ``n_shards`` workers when
+    given, plain columnar store when ``None``."""
+    runtime = None
+    if n_shards is not None:
+        runtime = ShardRuntime(
+            ShardConfig(n_shards=n_shards),
+            N_PMS,
+            N_VMS,
+            SEED,
+            arena_prefix=f"glap-shard-bench-{os.getpid()}-k{n_shards}",
+        )
+    dc = DataCenter(
+        N_PMS,
+        N_VMS,
+        make_trace(),
+        backend="columnar",
+        store_allocator=runtime.allocator if runtime is not None else None,
+    )
+    dc.place_randomly(np.random.default_rng(1))
+    if runtime is not None:
+        # The runtime only needs somewhere to hang the network observer.
+        runtime.install(dc, SimpleNamespace(network=SimpleNamespace(observer=None)))
+    dc.advance_round()
+    return dc, runtime
+
+
+def best_of_advance(dc: DataCenter) -> float:
+    """Per-round seconds: minimum over ROUNDS batches of REPS rounds."""
+    best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            for _ in range(REPS):
+                dc.advance_round()
+            best = min(best, (time.perf_counter() - t0) / REPS)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def store_digest(dc: DataCenter) -> str:
+    """Bit-exact fingerprint of the mutable per-VM averaging state."""
+    h = hashlib.sha256()
+    for col in (dc.store.avg, dc.store.cur, dc.store.monitor_count):
+        h.update(np.ascontiguousarray(col).tobytes())
+    return h.hexdigest()[:16]
+
+
+def collect() -> Dict[str, object]:
+    t_start = time.perf_counter()
+    timings: Dict[str, Dict[str, float]] = {}
+    digests: Dict[str, str] = {}
+    for label, n_shards in (
+        ("unsharded", None),
+        ("k1", 1),
+        ("k2", 2),
+        ("k4", 4),
+    ):
+        dc, runtime = make_cell(n_shards)
+        try:
+            per_round = best_of_advance(dc)
+            # Must be read before shutdown: shutdown unmaps the shared
+            # segments out from under the store's column views.
+            digests[label] = store_digest(dc)
+        finally:
+            if runtime is not None:
+                runtime.shutdown()
+        timings[f"advance/{label}"] = {
+            "total_s": per_round,
+            "calls": ROUNDS * REPS,
+        }
+        del dc
+
+    for label in ("k1", "k2", "k4"):
+        # Stored as a timing so bench-compare fails when the sharded
+        # round REGRESSES relative to unsharded on the same machine
+        # (and reports silent improvements on multi-core runners).
+        timings[f"shard_over_unsharded/{label}"] = {
+            "total_s": timings[f"advance/{label}"]["total_s"]
+            / timings["advance/unsharded"]["total_s"],
+            "calls": 1,
+        }
+    timings["rss/peak_mb"] = {
+        "total_s": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+        "calls": 1,
+    }
+
+    # Every configuration must land on the same bits.
+    assert len(set(digests.values())) == 1, f"digest drift across K: {digests}"
+    metrics = {"store_digest": digests["unsharded"]}
+    return sweep_summary(
+        {
+            "bench": "shard-advance-100k",
+            "n_pms": N_PMS,
+            "n_vms": N_VMS,
+            "trace_rounds": TRACE_ROUNDS,
+            "shard_counts": "1,2,4",
+        },
+        timings,
+        metrics,
+        wall_s=time.perf_counter() - t_start,
+    )
+
+
+def test_shard_advance_recorded():
+    summary = collect()
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    write_summary(summary, RESULTS_PATH)
+    phases = summary["timings"]["phases"]
+    print(
+        "per-round advance:",
+        {
+            k.split("/")[1]: f"{v['total_s'] * 1e3:.1f} ms"
+            for k, v in phases.items()
+            if k.startswith("advance/")
+        },
+    )
+    # Correctness floor (the digest assert in collect()) plus sanity:
+    # the sharded round must stay within a small constant factor of the
+    # unsharded one even on a single core — barriers are per-round,
+    # so protocol overhead must not scale with cell size.
+    for label in ("k1", "k2", "k4"):
+        ratio = phases[f"shard_over_unsharded/{label}"]["total_s"]
+        assert ratio < 10.0, (
+            f"{label}: sharded advance is {ratio:.1f}x the unsharded round "
+            "— the shard protocol is copying instead of sharing"
+        )

@@ -13,6 +13,8 @@ and tracing enabled.
 from repro.checkpoint.snapshot import (
     CHECKPOINT_SCHEMA,
     CHECKPOINT_SCHEMA_VERSION,
+    SHARDED_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     RunEnv,
     load_checkpoint,
     restore_checkpoint,
@@ -22,6 +24,8 @@ from repro.checkpoint.snapshot import (
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "CHECKPOINT_SCHEMA_VERSION",
+    "SHARDED_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "RunEnv",
     "save_checkpoint",
     "load_checkpoint",

@@ -1,0 +1,201 @@
+"""Shared-memory column arena for multi-process sharded simulation.
+
+A :class:`SharedColumnArena` owns one POSIX shared-memory segment per
+column (``multiprocessing.shared_memory``); the coordinator process
+creates the segments and hands the :class:`ColumnarStore` zero-filled
+ndarray views backed by them, so the store's columns — the single
+source of truth for all mutable PM/VM state — are *physically shared*
+with shard worker processes.  Workers reconstruct views of the same
+memory from the arena's :meth:`layout` (a picklable dict of
+``name -> (segment, shape, dtype)``) without copying a byte.
+
+Guarantees relied on by the determinism contract:
+
+* Segments are zero-filled at creation (POSIX ``ftruncate`` semantics),
+  so an arena-backed column starts bit-identical to ``np.zeros``.
+* Views are C-contiguous ``ndarray`` s over the raw buffer; every NumPy
+  element-wise op performs the same IEEE operation it would on a
+  privately-allocated array.
+
+Lifecycle: the creating process is the owner — :meth:`close` both
+detaches and unlinks every segment (idempotent; also invoked by the
+finalizer as a crash backstop).  Attaching processes call
+:func:`attach_views` and detach on exit without unlinking.  A process
+killed with SIGKILL cannot unlink, but its resource-tracker daemon
+normally outlives it and reclaims the registered segments; in the rare
+case the tracker died too, segments use the recognisable
+``glap-shard-*`` prefix so leaked ones are easy to find under
+``/dev/shm`` (see DESIGN.md §"Federation sharding").
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArenaLayout",
+    "SharedColumnArena",
+    "attach_views",
+    "detach_views",
+]
+
+#: Picklable description of every column in an arena:
+#: ``column name -> (shared-memory segment name, shape, dtype string)``.
+ArenaLayout = Dict[str, Tuple[str, Tuple[int, ...], str]]
+
+
+class _suppress_tracker_register:
+    """Keep an attach from registering with the resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker, which would *unlink* it when the attaching process exits —
+    yanking live memory out from under the owner.  Only the creating
+    process may unlink.  Attachers cannot simply ``unregister`` after
+    the fact either: forked/spawned workers talk to the *same* tracker
+    daemon as the owner, so their unregister deletes the owner's entry
+    and the owner's eventual unlink trips a tracker KeyError.  The only
+    clean option is to suppress registration during the attach call.
+    """
+
+    def __enter__(self) -> None:
+        try:  # pragma: no cover - stdlib-internal API, best effort
+            from multiprocessing import resource_tracker
+
+            self._orig = resource_tracker.register
+            resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
+        except Exception:
+            self._orig = None
+
+    def __exit__(self, *exc: object) -> None:
+        if self._orig is not None:  # pragma: no branch
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register = self._orig  # type: ignore[assignment]
+
+
+class SharedColumnArena:
+    """Creates and owns named shared-memory segments, one per column."""
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        #: Unique, recognisable segment-name prefix.  The pid plus a
+        #: random token keeps concurrent runs (and a run resumed after a
+        #: SIGKILL, whose old segments may still linger) from colliding.
+        self.prefix = (
+            prefix
+            if prefix is not None
+            else f"glap-shard-{os.getpid()}-{secrets.token_hex(4)}"
+        )
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._layout: ArenaLayout = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(self, SharedColumnArena._cleanup, self._segments)
+
+    # -- allocation (owner side) -------------------------------------------
+
+    def allocate(self, name: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Create a zero-filled column backed by a fresh shared segment.
+
+        Matches the signature the :class:`ColumnarStore` allocator hook
+        expects; the returned view is indistinguishable from
+        ``np.zeros(shape, dtype)`` to NumPy code.
+        """
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        if name in self._segments:
+            raise ValueError(f"column {name!r} already allocated")
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        segment_name = f"{self.prefix}-{name}"
+        shm = shared_memory.SharedMemory(name=segment_name, create=True, size=nbytes)
+        self._segments[name] = shm
+        self._layout[name] = (segment_name, tuple(int(s) for s in shape), dtype.str)
+        return np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+    def layout(self, columns: Optional[Iterable[str]] = None) -> ArenaLayout:
+        """The picklable attach recipe (optionally restricted to ``columns``)."""
+        if columns is None:
+            return dict(self._layout)
+        out: ArenaLayout = {}
+        for name in columns:
+            if name not in self._layout:
+                raise KeyError(f"arena has no column {name!r}")
+            out[name] = self._layout[name]
+        return out
+
+    def view(self, name: str) -> np.ndarray:
+        """A fresh ndarray view of an already-allocated column."""
+        segment_name, shape, dtype = self._layout[name]
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._segments[name].buf)
+
+    # -- teardown ----------------------------------------------------------
+
+    @staticmethod
+    def _cleanup(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+        for shm in segments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        segments.clear()
+
+    def close(self) -> None:
+        """Detach and unlink every segment (owner teardown; idempotent)."""
+        self._closed = True
+        self._finalizer.detach()
+        SharedColumnArena._cleanup(self._segments)
+        self._layout.clear()
+
+    def __enter__(self) -> "SharedColumnArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SharedColumnArena(prefix={self.prefix!r}, "
+            f"columns={sorted(self._layout)}, closed={self._closed})"
+        )
+
+
+def attach_views(
+    layout: Mapping[str, Tuple[str, Tuple[int, ...], str]],
+) -> Tuple[Dict[str, np.ndarray], Dict[str, shared_memory.SharedMemory]]:
+    """Attach to an arena described by ``layout`` (worker side).
+
+    Returns ``(views, segments)``: ndarray views keyed like the layout,
+    plus the segment handles the caller must keep alive while the views
+    are in use and eventually pass to :func:`detach_views`.
+    """
+    views: Dict[str, np.ndarray] = {}
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    try:
+        for name, (segment_name, shape, dtype) in layout.items():
+            with _suppress_tracker_register():
+                shm = shared_memory.SharedMemory(name=segment_name)
+            segments[name] = shm
+            views[name] = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+    except Exception:
+        detach_views(segments)
+        raise
+    return views, segments
+
+
+def detach_views(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    """Detach worker-side segment handles (never unlinks)."""
+    for shm in segments.values():
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+    segments.clear()

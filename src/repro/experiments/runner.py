@@ -30,6 +30,7 @@ from repro.checkpoint import RunEnv, restore_checkpoint, save_checkpoint
 from repro.core.glap import GlapPolicy
 from repro.datacenter.cluster import DataCenter
 from repro.experiments.scenarios import Scenario
+from repro.experiments.sharding import ShardConfig, ShardRuntime
 from repro.faults.controller import FaultController
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
@@ -109,7 +110,10 @@ def build_trace(scenario: Scenario, seed: int) -> TraceSource:
 
 
 def build_simulation(
-    scenario: Scenario, seed: int, trace: Optional[TraceSource] = None
+    scenario: Scenario,
+    seed: int,
+    trace: Optional[TraceSource] = None,
+    sharding: Optional[ShardRuntime] = None,
 ) -> Tuple[DataCenter, Simulation, RngStreams]:
     """Construct (data centre, simulation, rng streams) for one run.
 
@@ -118,6 +122,11 @@ def build_simulation(
     ``trace`` (from :func:`build_trace` / :class:`TraceCache`) is used
     verbatim, skipping the redundant regeneration; the placement and
     engine streams are unaffected either way.
+
+    A :class:`~repro.experiments.sharding.ShardRuntime` backs the store
+    columns with its allocator (shared memory when workers are enabled)
+    and is installed on the built simulation — the sharded run stays
+    bit-identical to the unsharded one by construction.
     """
     streams = RngStreams(seed)
     if trace is None:
@@ -135,10 +144,13 @@ def build_simulation(
         scenario.n_vms,
         trace,
         round_seconds=scenario.round_seconds,
+        store_allocator=sharding.allocator if sharding is not None else None,
     )
     dc.place_randomly(streams.get("placement"))
     nodes = [Node(pm.pm_id, payload=pm) for pm in dc.pms]
     sim = Simulation(nodes, streams.get("engine"))
+    if sharding is not None:
+        sharding.install(dc, sim)
     return dc, sim, streams
 
 
@@ -303,6 +315,7 @@ def run_policy(
     telemetry: Optional[Telemetry] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    sharding: Optional[ShardConfig] = None,
 ) -> RunResult:
     """Run one policy through warmup + evaluation; returns the result.
 
@@ -335,9 +348,54 @@ def run_policy(
     evaluation rounds (plus once at the end), resumable bit-identically
     via :func:`resume_policy`.  ``checkpoint_every`` without a path is
     an error.
+
+    ``sharding`` (a :class:`~repro.experiments.sharding.ShardConfig`)
+    partitions the data centre across K shard worker processes over
+    shared memory — results are bit-identical for every K, including
+    K=1 vs no sharding at all (the golden suite asserts it); only the
+    new ``shard/*`` telemetry counters differ across K.
     """
     _validate_checkpoint_args(checkpoint_every, checkpoint_path)
-    dc, sim, streams = build_simulation(scenario, seed, trace=trace)
+    runtime: Optional[ShardRuntime] = None
+    if sharding is not None:
+        runtime = ShardRuntime(sharding, scenario.n_pms, scenario.n_vms, seed)
+    try:
+        return _run_policy_inner(
+            scenario,
+            policy,
+            seed,
+            runtime,
+            round_hook=round_hook,
+            trace=trace,
+            faults=faults,
+            check_invariants=check_invariants,
+            tracer=tracer,
+            profiler=profiler,
+            telemetry=telemetry,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+    finally:
+        if runtime is not None:
+            runtime.shutdown()
+
+
+def _run_policy_inner(
+    scenario: Scenario,
+    policy: ConsolidationPolicy,
+    seed: int,
+    runtime: Optional[ShardRuntime],
+    round_hook: Optional[Callable[[int, DataCenter, Simulation], None]] = None,
+    trace: Optional[TraceSource] = None,
+    faults: Optional[FaultPlan] = None,
+    check_invariants: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[NullProfiler] = None,
+    telemetry: Optional[Telemetry] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+) -> RunResult:
+    dc, sim, streams = build_simulation(scenario, seed, trace=trace, sharding=runtime)
 
     tracer = tracer if tracer is not None else NULL_TRACER
     prof = profiler if profiler is not None else NULL_PROFILER
@@ -359,6 +417,10 @@ def run_policy(
         telemetry.register_gauge(
             "dc/overloaded_pms", lambda: float(dc.overloaded_count())
         )
+        if runtime is not None:
+            telemetry.register_counters(
+                "shard", runtime.ledger.telemetry_counters
+            )
 
     plan = faults if faults is not None else scenario.faults
     controller: Optional[FaultController] = None
@@ -405,6 +467,7 @@ def run_policy(
         collector=MetricsCollector(dc),
         controller=controller,
         invariant_observer=observer,
+        sharding=runtime,
     )
     return _run_eval(
         env,
@@ -424,6 +487,7 @@ def resume_policy(
     telemetry: Optional[Telemetry] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_to: Optional[Union[str, Path]] = None,
+    sharding: Optional[ShardConfig] = None,
 ) -> RunResult:
     """Resume a run from a checkpoint and drive it to completion.
 
@@ -437,6 +501,11 @@ def resume_policy(
     ``checkpoint_to`` (default: ``checkpoint_path``) is where continued
     checkpoints are written when ``checkpoint_every`` is set; a final
     checkpoint is written there whenever either is set.
+
+    ``sharding`` overrides the shard configuration of the resumed run;
+    by default a checkpoint written by a sharded run resumes with the
+    recorded shard count.  Because results are bit-identical across K,
+    resuming a 4-shard checkpoint at K=1 (or vice versa) is valid.
     """
     env = restore_checkpoint(
         checkpoint_path,
@@ -445,16 +514,21 @@ def resume_policy(
         tracer=tracer,
         profiler=profiler,
         telemetry=telemetry,
+        sharding=sharding,
     )
     target = checkpoint_to if checkpoint_to is not None else (
         checkpoint_path if checkpoint_every is not None else None
     )
-    return _run_eval(
-        env,
-        round_hook=round_hook,
-        checkpoint_every=checkpoint_every,
-        checkpoint_path=target,
-    )
+    try:
+        return _run_eval(
+            env,
+            round_hook=round_hook,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=target,
+        )
+    finally:
+        if env.sharding is not None:
+            env.sharding.shutdown()
 
 
 def run_repetitions(

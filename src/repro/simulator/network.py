@@ -30,7 +30,7 @@ actual payloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -137,6 +137,12 @@ class Network:
         #: Phase profiler (no-op by default); when enabled, push-pull
         #: exchange delivery is accumulated under ``network_delivery``.
         self.profiler: NullProfiler = NULL_PROFILER
+        #: Optional message observer, called for every delivery attempt
+        #: as ``observer(msg, dropped)`` *after* the drop decision.  It
+        #: must be pure accounting: it may not mutate the message, draw
+        #: randomness, or influence delivery (the cross-shard ledger in
+        #: :mod:`repro.experiments.sharding` hangs off this hook).
+        self.observer: Optional[Callable[[Message, bool], None]] = None
 
     # -- fault-model configuration (the public chaos API) -------------------
 
@@ -216,6 +222,8 @@ class Network:
             # consume randomness (the zero-fault identity contract).
             dropped = p > 0.0 and self._rng.random() < p
         self.stats.record(msg, dropped)
+        if self.observer is not None:
+            self.observer(msg, dropped)
         return not dropped
 
     def exchange_ok(self, src: int, dst: int, kind: str, size_bytes: int = 0) -> bool:

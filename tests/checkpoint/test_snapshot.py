@@ -7,6 +7,7 @@ import pytest
 from repro.checkpoint import (
     CHECKPOINT_SCHEMA,
     CHECKPOINT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     load_checkpoint,
     restore_checkpoint,
 )
@@ -63,7 +64,7 @@ class TestEnvelope:
     def test_rejects_future_schema_version(self, tmp_path):
         _, ckpt = _checkpointed_run(tmp_path)
         payload = json.loads(ckpt.read_text())
-        payload["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        payload["schema_version"] = max(SUPPORTED_SCHEMA_VERSIONS) + 1
         ckpt.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="schema_version"):
             load_checkpoint(ckpt)

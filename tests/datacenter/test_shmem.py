@@ -1,0 +1,94 @@
+"""Unit tests for the shared-memory column arena.
+
+The arena is the physical substrate of sharded runs: the coordinator's
+ColumnarStore columns and every worker's views must be the *same*
+bytes.  These tests pin the ownership rules (owner unlinks, attachers
+never do), zero-fill semantics, and idempotent teardown that the
+determinism and no-leak guarantees in sharding.py rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.shmem import SharedColumnArena, attach_views, detach_views
+
+
+def test_allocate_is_zero_filled_and_ndarray_like():
+    with SharedColumnArena(prefix="glap-shard-test-zero") as arena:
+        col = arena.allocate("cur", (5, 2), np.float64)
+        assert col.shape == (5, 2)
+        assert col.dtype == np.float64
+        assert col.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(col, np.zeros((5, 2)))
+        # Writes through the view land in the segment.
+        col[3, 1] = 7.5
+        assert arena.view("cur")[3, 1] == 7.5
+
+
+def test_layout_and_attach_share_memory():
+    with SharedColumnArena(prefix="glap-shard-test-attach") as arena:
+        owner = arena.allocate("host", (8,), np.int64)
+        owner[:] = np.arange(8)
+        views, segments = attach_views(arena.layout())
+        try:
+            np.testing.assert_array_equal(views["host"], np.arange(8))
+            # Mutations propagate both directions — same physical bytes.
+            views["host"][0] = -1
+            assert owner[0] == -1
+            owner[7] = 99
+            assert views["host"][7] == 99
+        finally:
+            detach_views(segments)
+        assert not segments  # detach_views clears its handle dict
+
+
+def test_layout_subset_and_unknown_column():
+    with SharedColumnArena(prefix="glap-shard-test-subset") as arena:
+        arena.allocate("a", (2,), np.float64)
+        arena.allocate("b", (2,), np.float64)
+        assert set(arena.layout(["a"])) == {"a"}
+        with pytest.raises(KeyError):
+            arena.layout(["a", "missing"])
+
+
+def test_duplicate_column_and_closed_arena_raise():
+    arena = SharedColumnArena(prefix="glap-shard-test-errs")
+    try:
+        arena.allocate("a", (2,), np.float64)
+        with pytest.raises(ValueError):
+            arena.allocate("a", (2,), np.float64)
+    finally:
+        arena.close()
+    with pytest.raises(RuntimeError):
+        arena.allocate("b", (2,), np.float64)
+
+
+def test_close_is_idempotent_and_unlinks():
+    arena = SharedColumnArena(prefix="glap-shard-test-close")
+    arena.allocate("a", (4,), np.float64)
+    layout = arena.layout()
+    arena.close()
+    arena.close()  # second close is a no-op, not an error
+    # The segment is gone: attaching must fail.
+    with pytest.raises(FileNotFoundError):
+        attach_views(layout)
+
+
+def test_attach_failure_detaches_partial_handles():
+    with SharedColumnArena(prefix="glap-shard-test-partial") as arena:
+        arena.allocate("good", (2,), np.float64)
+        layout = arena.layout()
+        layout["bad"] = ("glap-shard-test-partial-nonexistent", (2,), "<f8")
+        with pytest.raises(FileNotFoundError):
+            attach_views(layout)
+
+
+def test_prefix_is_unique_and_recognisable():
+    a = SharedColumnArena()
+    b = SharedColumnArena()
+    try:
+        assert a.prefix.startswith("glap-shard-")
+        assert a.prefix != b.prefix
+    finally:
+        a.close()
+        b.close()

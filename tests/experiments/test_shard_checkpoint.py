@@ -1,0 +1,219 @@
+"""Checkpoint/resume of sharded runs, including a real SIGKILL.
+
+A sharded run checkpoints its columns *per shard* (schema v3) and its
+cross-shard ledger with the pending message batch unflushed, so a
+resumed run applies that batch at the same round boundary — same flush
+index, same seed-derived permutation — as the uninterrupted run.
+
+Pinned here:
+
+* v3 schema shape: per-shard column chunks + a ``sharding`` section;
+  unsharded checkpoints stay v2;
+* a 4-shard run interrupted at the golden cell's midpoint and resumed
+  lands on the pinned golden digest bit-for-bit;
+* a worker-mode checkpoint resumed with inline kernels (and vice
+  versa) is bit-identical — the execution mode is not simulation state;
+* a subprocess running a 4-shard run killed with SIGKILL mid-eval
+  resumes from its latest checkpoint to exactly the from-scratch
+  result, and the shared-memory segments it necessarily leaked are
+  identifiable by prefix and reclaimable.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import SHARDED_SCHEMA_VERSION, load_checkpoint
+from repro.core.glap import GlapConfig
+from repro.experiments.runner import make_policy, resume_policy, run_policy
+from repro.experiments.scenarios import Scenario
+from repro.experiments.sharding import ShardConfig
+from repro.faults import FaultPlan
+from repro.traces.google import GoogleTraceParams
+from tests.golden.test_golden_columnar_cell import (
+    FIXTURE_PATH,
+    MIDPOINT,
+    SCENARIO,
+    _instrumented_run,
+    _Interrupted,
+    _interrupt_after_midpoint,
+)
+from tests.golden.test_golden_runs import digest_run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_sharded_checkpoint_is_schema_v3_with_per_shard_chunks(tmp_path):
+    ckpt = tmp_path / "ck.json"
+    run_policy(
+        SCENARIO,
+        make_policy("GLAP", config=GlapConfig(aggregation_rounds=4)),
+        SCENARIO.seed_of(0),
+        sharding=ShardConfig(n_shards=4),
+        checkpoint_path=ckpt,
+    )
+    payload = json.loads(ckpt.read_text())
+    assert payload["schema_version"] == SHARDED_SCHEMA_VERSION == 3
+    section = payload["sharding"]
+    assert section["n_shards"] == 4
+    assert len(section["pm_bounds"]) == len(section["vm_bounds"]) == 4
+    assert section["ledger"]["flushes"] > 0
+    # Columns are chunked per shard, one chunk per shard, and the chunk
+    # boundaries are the shard map's.
+    for group in ("pms", "vms"):
+        for name, chunks in payload["state"][group].items():
+            assert isinstance(chunks, list) and len(chunks) == 4, (
+                f"{group}/{name} is not chunked per shard"
+            )
+            bounds = section["pm_bounds" if group == "pms" else "vm_bounds"]
+            assert [len(c) for c in chunks] == [b - a for a, b in bounds]
+    # And the checkpoint loader still validates it.
+    load_checkpoint(ckpt)
+
+
+def test_unsharded_checkpoint_stays_v2(tmp_path):
+    ckpt = tmp_path / "ck.json"
+    run_policy(
+        SCENARIO,
+        make_policy("GLAP", config=GlapConfig(aggregation_rounds=4)),
+        SCENARIO.seed_of(0),
+        checkpoint_path=ckpt,
+    )
+    payload = json.loads(ckpt.read_text())
+    assert payload["schema_version"] == 2
+    assert "sharding" not in payload
+
+
+@pytest.mark.parametrize(
+    "resume_sharding",
+    [None, ShardConfig(n_shards=4, workers=False)],
+    ids=["resume-default", "resume-inline"],
+)
+def test_midpoint_resume_of_sharded_run_hits_golden(resume_sharding, tmp_path):
+    """Interrupt the instrumented 4-shard chaos run one round after its
+    midpoint checkpoint; resuming (by default with the checkpoint's own
+    sharding, or overridden to inline kernels) lands on the pinned
+    digest exactly."""
+    ckpt = tmp_path / "ck.json"
+    with pytest.raises(_Interrupted):
+        _instrumented_run(
+            "GLAP",
+            tmp_path,
+            sharding=ShardConfig(n_shards=4),
+            round_hook=_interrupt_after_midpoint,
+            checkpoint_every=MIDPOINT,
+            checkpoint_path=ckpt,
+        )
+    payload = json.loads(ckpt.read_text())
+    assert payload["schema_version"] == 3
+    assert payload["progress"]["eval_rounds_done"] == MIDPOINT
+
+    resumed = resume_policy(
+        ckpt,
+        make_policy("GLAP", config=GlapConfig(aggregation_rounds=4)),
+        sharding=resume_sharding,
+    )
+    fixture = json.loads(FIXTURE_PATH.read_text())
+    assert digest_run(resumed) == fixture["GLAP/chaos40"]
+
+
+# -- real SIGKILL ------------------------------------------------------------
+
+_KILL_SCENARIO = dict(
+    n_pms=12, ratio=2, rounds=8, warmup_rounds=8, rounds_per_day=8
+)
+_KILL_SEED = 977
+_KILL_AT_ROUND = 4
+_CHECKPOINT_EVERY = 3
+
+_CHILD_SCRIPT = """
+import os, signal
+from repro.core.glap import GlapConfig
+from repro.experiments.runner import make_policy, run_policy
+from repro.experiments.scenarios import Scenario
+from repro.experiments.sharding import ShardConfig
+from repro.faults import FaultPlan
+from repro.traces.google import GoogleTraceParams
+
+def kill_hard(r, dc, sim):
+    if r == {kill_at}:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+run_policy(
+    Scenario(n_pms={n_pms}, ratio={ratio}, rounds={rounds},
+             warmup_rounds={warmup_rounds}, repetitions=1,
+             trace_params=GoogleTraceParams(rounds_per_day={rounds_per_day})),
+    make_policy("GLAP", config=GlapConfig(aggregation_rounds=2)),
+    {seed},
+    faults=FaultPlan.message_loss(0.2),
+    sharding=ShardConfig(n_shards=4),
+    checkpoint_every={every},
+    checkpoint_path={ckpt!r},
+    round_hook=kill_hard,
+)
+raise SystemExit("unreachable: the run should have been SIGKILLed")
+"""
+
+
+def _kill_scenario() -> Scenario:
+    return Scenario(
+        n_pms=_KILL_SCENARIO["n_pms"],
+        ratio=_KILL_SCENARIO["ratio"],
+        rounds=_KILL_SCENARIO["rounds"],
+        warmup_rounds=_KILL_SCENARIO["warmup_rounds"],
+        repetitions=1,
+        trace_params=GoogleTraceParams(
+            rounds_per_day=_KILL_SCENARIO["rounds_per_day"]
+        ),
+    )
+
+
+def test_sigkilled_sharded_run_resumes_to_from_scratch_result(tmp_path):
+    ckpt = tmp_path / "ck.json"
+    script = _CHILD_SCRIPT.format(
+        kill_at=_KILL_AT_ROUND,
+        seed=_KILL_SEED,
+        every=_CHECKPOINT_EVERY,
+        ckpt=str(ckpt),
+        **_KILL_SCENARIO,
+    )
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    # The child died from the signal, not from finishing.
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+    # SIGKILL leaves the owner no chance to unlink.  Normally the
+    # child's resource-tracker daemon outlives it and reclaims the
+    # segments; if the tracker died too they linger under the
+    # recognisable prefix — reclaim them here either way.
+    for path in glob.glob("/dev/shm/glap-shard-*"):
+        os.unlink(path)
+
+    payload = json.loads(ckpt.read_text())
+    assert payload["schema_version"] == 3
+    assert payload["progress"]["eval_rounds_done"] == _CHECKPOINT_EVERY
+
+    resumed = resume_policy(
+        ckpt, make_policy("GLAP", config=GlapConfig(aggregation_rounds=2))
+    )
+    scratch = run_policy(
+        _kill_scenario(),
+        make_policy("GLAP", config=GlapConfig(aggregation_rounds=2)),
+        _KILL_SEED,
+        faults=FaultPlan.message_loss(0.2),
+        sharding=ShardConfig(n_shards=4),
+    )
+    assert digest_run(resumed) == digest_run(scratch)

@@ -1,0 +1,82 @@
+"""Sharded scale smoke: a short 4-shard GLAP eval at 50k PMs / 200k VMs.
+
+The sharded sibling of ``test_scale_smoke.py``: the same cell driven
+through four worker processes over shared-memory columns, with the
+invariant observer live and the per-round conservation identity checked
+against the cross-shard ledger.  Budgets carry similar headroom over a
+warm local run so the gate catches order-of-magnitude regressions in
+the shard protocol (a per-round column copy, a serialisation of the
+whole store through the command queues) without flaking on slower
+runners — worker startup/IPC must stay a small constant per round, not
+a function of cell size.
+
+Slow-marked: runs in the nightly ``full`` CI job, not in tier-1.
+"""
+
+import resource
+import time
+
+import pytest
+
+from repro.core.glap import GlapConfig
+from repro.experiments.runner import make_policy, run_policy
+from repro.experiments.scenarios import Scenario
+from repro.experiments.sharding import ShardConfig
+from repro.traces.google import GoogleTraceParams
+
+N_PMS = 50_000
+N_VMS = 200_000
+N_SHARDS = 4
+WALL_BUDGET_S = 900.0
+PEAK_RSS_BUDGET_MB = 5120.0
+
+SCENARIO = Scenario(
+    n_pms=N_PMS,
+    ratio=N_VMS // N_PMS,
+    rounds=2,
+    warmup_rounds=2,
+    repetitions=1,
+    trace_params=GoogleTraceParams(rounds_per_day=4),
+)
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@pytest.mark.slow
+def test_glap_50k_pms_4_shards_within_budgets():
+    conservation_rounds = []
+
+    def check_conservation(r, dc, sim):
+        runtime = dc.advance_driver.__self__
+        ledger = runtime.ledger
+        assert (
+            ledger.msgs_intra + ledger.msgs_inter
+            == sim.network.stats.messages_sent
+        )
+        conservation_rounds.append(r)
+
+    t0 = time.perf_counter()
+    result = run_policy(
+        SCENARIO,
+        make_policy("GLAP", config=GlapConfig(aggregation_rounds=1)),
+        SCENARIO.seed_of(0),
+        check_invariants=True,
+        sharding=ShardConfig(n_shards=N_SHARDS),
+        round_hook=check_conservation,
+    )
+    wall_s = time.perf_counter() - t0
+    peak_rss_mb = _peak_rss_mb()
+
+    assert wall_s < WALL_BUDGET_S, (
+        f"50k-PM 4-shard smoke took {wall_s:.0f}s (budget {WALL_BUDGET_S:.0f}s) "
+        "— the shard protocol has stopped being O(1) per round"
+    )
+    assert peak_rss_mb < PEAK_RSS_BUDGET_MB, (
+        f"peak RSS {peak_rss_mb:.0f} MB (budget {PEAK_RSS_BUDGET_MB:.0f} MB) — "
+        "columns are being copied instead of shared"
+    )
+    assert conservation_rounds == list(range(SCENARIO.rounds))
+    assert 0 < result.final_active < N_PMS
+    assert result.total_migrations > 0
