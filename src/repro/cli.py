@@ -83,6 +83,34 @@ def build_parser() -> argparse.ArgumentParser:
             "$REPRO_JOBS or 1; results are identical at any value)",
         )
 
+    def add_gossip_bw_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--q-partitions",
+            type=int,
+            default=1,
+            metavar="K",
+            help="GLAP only: slice Q-maps into K keyed partitions and "
+            "gossip one rotating partition per contact (default 1 = the "
+            "paper's full-union-map exchange)",
+        )
+        p.add_argument(
+            "--gossip-tokens",
+            type=float,
+            default=0.0,
+            metavar="B",
+            help="GLAP only: token-account flow control — refill each "
+            "PM's byte budget by B per round and defer exchanges it "
+            "cannot afford (default 0 = no throttling)",
+        )
+        p.add_argument(
+            "--gossip-token-capacity",
+            type=float,
+            default=None,
+            metavar="C",
+            help="with --gossip-tokens, cap the token account at C bytes "
+            "(default: 4x the per-round budget)",
+        )
+
     p_run = sub.add_parser("run", help="run one policy on one scenario")
     add_scenario_args(p_run)
     p_run.add_argument("--policy", choices=POLICY_NAMES, default="GLAP")
@@ -174,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         "migrations as a fraction of intra-DC migration energy "
         "(accounting only; default 0.25)",
     )
+    add_gossip_bw_args(p_run)
 
     p_cmp = sub.add_parser("compare", help="run all policies on one scenario")
     add_scenario_args(p_cmp)
@@ -217,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         "from-scratch sweep",
     )
     add_jobs_arg(p_sweep)
+    add_gossip_bw_args(p_sweep)
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -362,6 +392,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _glap_policy_kwargs(args: argparse.Namespace) -> dict:
+    """Constructor kwargs for GLAP from the bandwidth flags.
+
+    Empty when every flag is at its default, so the default CLI path
+    constructs the policy exactly as before (bit-identical runs).
+    """
+    if (
+        args.q_partitions == 1
+        and args.gossip_tokens == 0.0
+        and args.gossip_token_capacity is None
+    ):
+        return {}
+    from repro.core.glap import GlapConfig
+
+    return {
+        "config": GlapConfig(
+            q_partitions=args.q_partitions,
+            gossip_tokens=args.gossip_tokens,
+            gossip_token_capacity=args.gossip_token_capacity,
+        )
+    }
+
+
 def _scenario_from_args(args: argparse.Namespace, reps: int = 1) -> Scenario:
     return Scenario(
         n_pms=args.pms,
@@ -401,12 +454,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.shards is not None
         else None
     )
+    policy_kwargs = (
+        _glap_policy_kwargs(args) if args.policy.lower() == "glap" else {}
+    )
     start = time.perf_counter()
     try:
         if args.resume_from is not None:
+            # The same flags must be repeated on resume: policy config is
+            # caller provenance, not checkpoint state.
             result = resume_policy(
                 args.resume_from,
-                make_policy(args.policy),
+                make_policy(args.policy, **policy_kwargs),
                 tracer=tracer,
                 profiler=profiler,
                 telemetry=telemetry,
@@ -417,7 +475,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             result = run_policy(
                 scenario,
-                make_policy(args.policy),
+                make_policy(args.policy, **policy_kwargs),
                 seed=scenario.seed_of(0),
                 tracer=tracer,
                 profiler=profiler,
@@ -490,6 +548,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup_rounds=args.warmup,
         repetitions=args.reps,
     )
+    glap_kwargs = _glap_policy_kwargs(args)
     results = run_sweep(
         scenarios,
         jobs=args.jobs,
@@ -497,6 +556,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store_dir=args.store,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        policy_kwargs={"GLAP": glap_kwargs} if glap_kwargs else None,
     )
     print(format_figure6(figure6_overload_fraction(results)))
     print()

@@ -112,8 +112,19 @@ def mean_pairwise_cosine(
         raw_i = rng.integers(0, n, size=max_pairs * 2)
         raw_j = rng.integers(0, n, size=max_pairs * 2)
         keep = raw_i != raw_j
-        ii = raw_i[keep][:max_pairs]
-        jj = raw_j[keep][:max_pairs]
+        # Canonicalise to unordered pairs and drop repeats: (i, j) and
+        # (j, i) are the same cosine, and counting a pair twice would
+        # bias the mean toward whatever the duplicated pair happens to
+        # show.  np.unique sorts, so re-order by first draw to keep the
+        # estimate a deterministic function of the rng alone.
+        lo = np.minimum(raw_i, raw_j)[keep]
+        hi = np.maximum(raw_i, raw_j)[keep]
+        codes = lo * np.intp(n) + hi
+        _, first = np.unique(codes, return_index=True)
+        first.sort()
+        first = first[:max_pairs]
+        ii = lo[first]
+        jj = hi[first]
         if ii.size == 0:  # pathological rng output; fall back to one pair
             ii, jj = np.array([0]), np.array([1])
     # All pairs at once: row dots + norms replace one cosine_similarity

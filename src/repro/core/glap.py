@@ -77,6 +77,14 @@ class GlapConfig:
     rack_bias: float = 0.0
     #: PMs per rack when rack_bias > 0.
     rack_size: int = 16
+    #: Keyed Q-map partitions for the aggregation exchange; 1 (default)
+    #: ships the full union map — the paper's Algorithm 2.
+    q_partitions: int = 1
+    #: Token-account flow control: bytes refilled per node per round;
+    #: 0 (default) disables throttling entirely.
+    gossip_tokens: float = 0.0
+    #: Token account cap in bytes (default: 4x gossip_tokens).
+    gossip_token_capacity: Optional[float] = None
 
 
     def __post_init__(self) -> None:
@@ -93,6 +101,13 @@ class GlapConfig:
             raise ValueError(f"overlay must be 'cyclon' or 'static', got {self.overlay!r}")
         check_fraction(self.rack_bias, "rack_bias")
         check_positive(self.rack_size, "rack_size")
+        check_positive(self.q_partitions, "q_partitions")
+        if self.gossip_tokens < 0.0:
+            raise ValueError(
+                f"gossip_tokens must be >= 0, got {self.gossip_tokens}"
+            )
+        if self.gossip_token_capacity is not None:
+            check_positive(self.gossip_token_capacity, "gossip_token_capacity")
 
 
 class _GlapPhaseProtocol(Protocol):
@@ -213,8 +228,20 @@ class GlapPolicy(ConsolidationPolicy):
             coverage_target=cfg.learning_coverage_target,
             learning_period=cfg.learning_period,
         )
+        # The token-deferral stream exists only when throttling is on, so
+        # zero-budget configs register no extra stream and their RNG
+        # checkpoint state stays byte-identical to pre-bandwidth runs.
+        token_rng = (
+            streams.get("glap/gossip-tokens") if cfg.gossip_tokens > 0.0 else None
+        )
         aggregation = QAggregationProtocol(
-            self.models, sampler, streams.get("glap/aggregation")
+            self.models,
+            sampler,
+            streams.get("glap/aggregation"),
+            n_partitions=cfg.q_partitions,
+            token_budget=cfg.gossip_tokens,
+            token_capacity=cfg.gossip_token_capacity,
+            token_rng=token_rng,
         )
         consolidation = GlapConsolidationProtocol(
             dc,
@@ -233,6 +260,7 @@ class GlapPolicy(ConsolidationPolicy):
         tel = sim.telemetry
         if tel.enabled:
             tel.register_counters("glap", self._telemetry_counters)
+            tel.register_counters("gossip", aggregation.bandwidth_counters)
             tel.register_gauge("glap/q_cosine", self._sample_convergence)
 
     def _telemetry_counters(self) -> Dict[str, float]:
@@ -348,6 +376,7 @@ class GlapPolicy(ConsolidationPolicy):
             "round_token": self._dispatcher._round_token,
             "models": {str(nid): m.to_dict() for nid, m in self.models.items()},
             "aggregation_exchanges": pp.aggregation.exchanges,
+            "gossip": pp.aggregation.state_dict(),
             "consolidation": {
                 "exchanges": cons.exchanges,
                 "rejections_by_q_in": cons.rejections_by_q_in,
@@ -378,6 +407,10 @@ class GlapPolicy(ConsolidationPolicy):
                 data, self.config.qlearning
             )
         pp.aggregation.exchanges = int(state["aggregation_exchanges"])
+        # Bandwidth-layer state postdates the counter above; old
+        # checkpoints simply restart the accounting from zero.
+        if "gossip" in state:
+            pp.aggregation.load_state_dict(state["gossip"])
         cons = pp.consolidation
         cons_state = state["consolidation"]
         cons.exchanges = int(cons_state["exchanges"])

@@ -133,6 +133,73 @@ class QTable:
                 ours = mine.get(action)
                 mine[action] = theirs if ours is None else 0.5 * (ours + theirs)
 
+    # -- keyed partitioning (bandwidth-aware gossip) --------------------------------
+
+    @staticmethod
+    def bucket_of(state: int, action: int, n_buckets: int) -> int:
+        """Deterministic bucket of a (state, action) pair.
+
+        A fixed multiplicative hash (Knuth's 2654435761 and a Mersenne
+        prime) decorrelates the bucket from the raw key arithmetic, so
+        states that arrive in contiguous runs still spread across
+        buckets.  Pure integer maths — stable across processes and
+        Python versions, unlike ``hash``.
+        """
+        return ((state * 2654435761) ^ (action * 8191)) % n_buckets
+
+    def partition(self, n_buckets: int, bucket: int) -> "QTable":
+        """The sub-table of pairs hashing to ``bucket`` of ``n_buckets``.
+
+        ``partition(k, 0) .. partition(k, k-1)`` are disjoint and their
+        union is the whole table; ``partition(1, 0)`` is a full copy.
+        Entries keep their insertion order, so a ``k == 1`` slice merges
+        exactly like the original table.
+        """
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be > 0, got {n_buckets}")
+        if not 0 <= bucket < n_buckets:
+            raise ValueError(
+                f"bucket must be in [0, {n_buckets}), got {bucket}"
+            )
+        out = QTable()
+        if n_buckets == 1:
+            out._by_state = {s: dict(a) for s, a in self._by_state.items()}
+            return out
+        for state, actions in self._by_state.items():
+            sub = {
+                action: value
+                for action, value in actions.items()
+                if self.bucket_of(state, action, n_buckets) == bucket
+            }
+            if sub:
+                out._by_state[state] = sub
+        return out
+
+    def bucket_len(self, n_buckets: int, bucket: int) -> int:
+        """Entry count of :meth:`partition` without building the slice."""
+        if n_buckets == 1:
+            return len(self)
+        return sum(
+            1
+            for state, actions in self._by_state.items()
+            for action in actions
+            if self.bucket_of(state, action, n_buckets) == bucket
+        )
+
+    def absorb(self, other: "QTable") -> None:
+        """Overwrite-adopt every entry of ``other`` into this table.
+
+        The write-back half of a partitioned exchange: the merged slice's
+        values replace (or add) the corresponding entries here, leaving
+        all other buckets untouched.
+        """
+        for state, their_actions in other._by_state.items():
+            mine = self._by_state.get(state)
+            if mine is None:
+                self._by_state[state] = dict(their_actions)
+            else:
+                mine.update(their_actions)
+
     # -- introspection ---------------------------------------------------------------
 
     def items(self) -> Iterator[Tuple[Tuple[int, int], float]]:

@@ -226,26 +226,42 @@ class Network:
             self.observer(msg, dropped)
         return not dropped
 
-    def exchange_ok(self, src: int, dst: int, kind: str, size_bytes: int = 0) -> bool:
+    def exchange_ok(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        size_bytes: int = 0,
+        *,
+        req_bytes: Optional[int] = None,
+        rep_bytes: Optional[int] = None,
+    ) -> bool:
         """Account for a request+reply pair; succeeds only if *both* survive.
 
         Push-pull gossip needs the request and the response delivered; a
         drop of either aborts the exchange for this round.
+
+        ``req_bytes``/``rep_bytes`` size the two directions independently
+        (a push-pull exchange ships *my* payload on the request and the
+        peer's on the reply); either defaults to the symmetric
+        ``size_bytes`` when not given.
         """
+        req_size = size_bytes if req_bytes is None else req_bytes
+        rep_size = size_bytes if rep_bytes is None else rep_bytes
         if self.profiler.enabled:
             with self.profiler.phase("network_delivery"):
                 request = self.deliver(
-                    Message(src, dst, kind + "/req", size_bytes=size_bytes)
+                    Message(src, dst, kind + "/req", size_bytes=req_size)
                 )
                 reply = self.deliver(
-                    Message(dst, src, kind + "/rep", size_bytes=size_bytes)
+                    Message(dst, src, kind + "/rep", size_bytes=rep_size)
                 )
         else:
             request = self.deliver(
-                Message(src, dst, kind + "/req", size_bytes=size_bytes)
+                Message(src, dst, kind + "/req", size_bytes=req_size)
             )
             reply = self.deliver(
-                Message(dst, src, kind + "/rep", size_bytes=size_bytes)
+                Message(dst, src, kind + "/rep", size_bytes=rep_size)
             )
         return request and reply
 

@@ -181,3 +181,72 @@ def test_cross_process_resume_matches_golden(policy_name, tmp_path):
     assert digest == _golden(f"{policy_name}/chaos")
     # The resumed half emitted a real trace of its own.
     assert (tmp_path / "second-half.jsonl").stat().st_size > 0
+
+
+#: The bandwidth-aware GLAP cell: partitioned exchange plus a token
+#: budget tight enough to defer some exchanges at this scale, so the
+#: checkpoint carries non-trivial rotation cursors and token accounts.
+_BANDWIDTH_KWARGS = {
+    "GLAP": {
+        "config": __import__(
+            "repro.core.glap", fromlist=["GlapConfig"]
+        ).GlapConfig(
+            aggregation_rounds=5,
+            q_partitions=3,
+            gossip_tokens=2000.0,
+        )
+    },
+}
+
+
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_bandwidth_enabled_midpoint_resume_is_bit_identical(
+    policy_name, tmp_path
+):
+    """Partitioning + tokens + telemetry across a midpoint cut.
+
+    The acceptance bar for the bandwidth-aware gossip layer: with the
+    partitioned exchange, token flow control and full telemetry all
+    active, an interrupted-and-resumed run must equal the straight run
+    bit for bit — result digest and the registry's complete state,
+    ``gossip/*`` series included.  (Non-GLAP policies have no bandwidth
+    knobs; they pin the telemetry path under their golden kwargs.)
+    """
+    from repro.obs.telemetry import TelemetryRegistry
+
+    kwargs = _BANDWIDTH_KWARGS.get(
+        policy_name, POLICY_KWARGS.get(policy_name, {})
+    )
+
+    unbroken = TelemetryRegistry(gauge_every=5)
+    result = run_policy(
+        SCENARIO,
+        make_policy(policy_name, **kwargs),
+        SCENARIO.seed_of(0),
+        telemetry=unbroken,
+    )
+
+    ckpt = tmp_path / "ck.json"
+    with pytest.raises(_Interrupted):
+        run_policy(
+            SCENARIO,
+            make_policy(policy_name, **kwargs),
+            SCENARIO.seed_of(0),
+            round_hook=_interrupt_after_midpoint,
+            telemetry=TelemetryRegistry(gauge_every=5),
+            checkpoint_every=MIDPOINT,
+            checkpoint_path=ckpt,
+        )
+    second_half = TelemetryRegistry()
+    resumed = resume_policy(
+        ckpt,
+        make_policy(policy_name, **kwargs),
+        telemetry=second_half,
+    )
+
+    assert digest_run(resumed) == digest_run(result)
+    assert second_half.state_dict() == unbroken.state_dict()
+    if policy_name == "GLAP":
+        totals = unbroken.totals()
+        assert totals.get("gossip/bytes", 0.0) > 0.0
+        assert totals.get("gossip/partition_lag", 0.0) > 0.0

@@ -113,3 +113,85 @@ class TestTheorem1:
                 x[a] = x[b] = mean
         assert x.mean() == pytest.approx(target)  # mass conservation
         assert x.std() < 0.05 * values.std()  # concentration
+
+
+class _ScriptedRng:
+    """Stands in for a Generator: replays fixed integer draws."""
+
+    def __init__(self, arrays):
+        self._arrays = [np.asarray(a) for a in arrays]
+
+    def integers(self, low, high, size):
+        out = self._arrays.pop(0)
+        assert out.size == size
+        return out
+
+
+class TestSampledPairDeduplication:
+    """Regression: the sampler drew pairs with replacement and never
+    canonicalised (i, j) vs (j, i), so one pair could be averaged in
+    multiple times and bias the estimate."""
+
+    def _distinct_models(self, n):
+        # A shared key plus a per-model key of growing weight: every
+        # unordered pair has a different similarity, so any duplicated
+        # pair shifts the mean detectably.
+        models = []
+        for i in range(n):
+            m = model_with(
+                out_entries=[(0, 0, 1.0), (i + 1, i + 1, float(i + 1))]
+            )
+            models.append(m)
+        return models
+
+    def test_duplicate_and_mirrored_draws_collapse(self):
+        models = self._distinct_models(5)  # 10 pairs > max_pairs=3
+        # Draws contain (0,1), its mirror (1,0), a self-pair (2,2) and a
+        # repeat of (0,1): only {0,1}, {3,4}, {0,2} must survive, in
+        # first-draw order.
+        rng = _ScriptedRng([
+            [0, 1, 2, 0, 3, 0],
+            [1, 0, 2, 1, 4, 2],
+        ])
+        got = mean_pairwise_cosine(models, rng=rng, max_pairs=3)
+        expected = np.mean([
+            mean_pairwise_cosine([models[0], models[1]]),
+            mean_pairwise_cosine([models[3], models[4]]),
+            mean_pairwise_cosine([models[0], models[2]]),
+        ])
+        assert got == pytest.approx(float(expected))
+
+    def test_no_duplicate_unordered_pairs_in_low_budget_sample(self):
+        # With max_pairs far below the population's pair count, the
+        # estimate must equal a mean over *some* set of distinct
+        # unordered pairs — verified against every multiset that
+        # contains a duplicate: duplicates pull the estimate off the
+        # attainable values whenever the pair similarities differ.
+        models = self._distinct_models(8)
+        sampled = mean_pairwise_cosine(
+            models, rng=np.random.default_rng(3), max_pairs=4
+        )
+        pair_sims = {}
+        for i in range(8):
+            for j in range(i + 1, 8):
+                pair_sims[(i, j)] = mean_pairwise_cosine(
+                    [models[i], models[j]]
+                )
+        from itertools import combinations
+
+        attainable = [
+            float(np.mean(vals))
+            for size in (1, 2, 3, 4)  # dedup may leave fewer than max_pairs
+            for vals in combinations(pair_sims.values(), size)
+        ]
+        assert any(
+            sampled == pytest.approx(a, abs=1e-9) for a in attainable
+        )
+
+    def test_sampled_estimate_is_deterministic(self):
+        models = self._distinct_models(10)
+        a = mean_pairwise_cosine(models, rng=np.random.default_rng(7),
+                                 max_pairs=5)
+        b = mean_pairwise_cosine(models, rng=np.random.default_rng(7),
+                                 max_pairs=5)
+        assert a == b

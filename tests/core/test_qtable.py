@@ -190,3 +190,84 @@ class TestMerge:
             lo = min(da.get(key, db.get(key)), db.get(key, da.get(key)))
             hi = max(da.get(key, db.get(key)), db.get(key, da.get(key)))
             assert lo - 1e-9 <= a.get(*key) <= hi + 1e-9
+
+
+class TestPartitioning:
+    def _table(self, n=30, seed=0):
+        rng = np.random.default_rng(seed)
+        q = QTable()
+        for _ in range(n):
+            q.set(int(rng.integers(81)), int(rng.integers(81)),
+                  float(rng.normal()))
+        return q
+
+    def test_partitions_are_disjoint_and_cover(self):
+        q = self._table()
+        k = 4
+        seen = {}
+        for bucket in range(k):
+            for key, value in q.partition(k, bucket).items():
+                assert key not in seen, f"{key} in two buckets"
+                seen[key] = value
+        assert seen == dict(q.items())
+
+    def test_single_bucket_is_full_copy(self):
+        q = self._table()
+        clone = q.partition(1, 0)
+        assert dict(clone.items()) == dict(q.items())
+        clone.set(0, 0, 99.0)
+        assert q.get(0, 0) != 99.0 or len(q) != len(clone)  # independent
+
+    def test_bucket_assignment_is_stable(self):
+        # The hash is pure integer maths — same bucket in any process.
+        assert QTable.bucket_of(3, 7, 4) == QTable.bucket_of(3, 7, 4)
+        for s in range(10):
+            for a in range(10):
+                assert 0 <= QTable.bucket_of(s, a, 5) < 5
+
+    def test_bucket_len_matches_partition(self):
+        q = self._table()
+        for k in (1, 3, 8):
+            for bucket in range(k):
+                assert q.bucket_len(k, bucket) == len(q.partition(k, bucket))
+
+    def test_absorb_overwrites_and_adds(self):
+        q = self._table()
+        patch = QTable()
+        some_state, some_action = next(iter(q.keys()))
+        patch.set(some_state, some_action, 123.0)
+        patch.set(80, 80, -5.0)
+        before = len(q)
+        had_new = not q.has(80, 80)
+        q.absorb(patch)
+        assert q.get(some_state, some_action) == 123.0
+        assert q.get(80, 80) == -5.0
+        if had_new:
+            assert len(q) == before + 1
+
+    def test_absorb_of_merged_partition_equals_full_merge_on_bucket(self):
+        # Partition -> merge -> absorb leaves the bucket's keys exactly
+        # as a full-table merge would, and other buckets untouched.
+        a, b = self._table(seed=1), self._table(seed=2)
+        a_ref, b_ref = a.copy(), b.copy()
+        k, bucket = 3, 1
+        sa, sb = a.partition(k, bucket), b.partition(k, bucket)
+        sa.merge(sb)
+        sb.copy_from(sa)
+        a.absorb(sa)
+        b.absorb(sb)
+        a_ref.merge(b_ref)
+        for key in set(a.keys()) | set(a_ref.keys()):
+            s, act = key
+            if QTable.bucket_of(s, act, k) == bucket:
+                assert a.get(s, act) == a_ref.get(s, act)
+                assert b.get(s, act) == a_ref.get(s, act)
+
+    def test_invalid_arguments_rejected(self):
+        q = self._table()
+        with pytest.raises(ValueError):
+            q.partition(0, 0)
+        with pytest.raises(ValueError):
+            q.partition(4, 4)
+        with pytest.raises(ValueError):
+            q.partition(4, -1)

@@ -69,3 +69,61 @@ def test_peer_side_event_reports_peer_model_size():
         nodes = {e["node"] for e in events}
         peers = {e["peer"] for e in events}
         assert nodes == peers
+
+
+def test_entries_report_pre_merge_payload_sizes():
+    """Regression: ``entries`` used to be read *after* merge_qtables, so
+    both sides reported the identical post-merge union size instead of
+    what each actually shipped."""
+    import numpy as np
+
+    from repro.core.aggregation import QAggregationProtocol
+    from repro.core.qlearning import QLearningModel
+    from repro.overlay.cyclon import CyclonProtocol
+    from repro.simulator.engine import Simulation
+    from repro.simulator.node import Node
+
+    a, b = QLearningModel(), QLearningModel()
+    a.q_out.set(0, 1, 1.0)
+    a.q_in.set(2, 3, 2.0)          # initiator ships 2 entries
+    b.q_out.set(4, 5, 3.0)
+    b.q_out.set(6, 7, 4.0)
+    b.q_in.set(8, 9, 5.0)          # peer ships 3 entries
+    models = {0: a, 1: b}
+    cyclon = CyclonProtocol(1, 1, rng=np.random.default_rng(0))
+    cyclon.bootstrap_random([0, 1])
+    proto = QAggregationProtocol(models, cyclon, np.random.default_rng(1))
+    nodes = [Node(0), Node(1)]
+    for node in nodes:
+        node.register("agg", proto)
+    sim = Simulation(nodes, np.random.default_rng(2))
+    tracer = RecordingTracer()
+    sim.tracer = tracer
+
+    proto.execute_round(nodes[0], sim)
+    initiator_ev, peer_ev = tracer.of_kind("q_push")
+    assert initiator_ev["node"] == 0 and initiator_ev["peer"] == 1
+    assert peer_ev["node"] == 1 and peer_ev["peer"] == 0
+    assert initiator_ev["entries"] == 2
+    assert peer_ev["entries"] == 3
+    # Post-merge both models hold the 5-entry union — which is what the
+    # buggy accounting reported on both sides.
+    assert a.total_entries() == b.total_entries() == 5
+
+
+def test_pre_merge_entries_in_full_run_are_asymmetric_early():
+    """In a real run the first aggregation exchanges pair trained PMs
+    with untrained ones, so the two sides of at least one exchange must
+    report different payload sizes (identical values on every exchange
+    is the signature of the post-merge bug)."""
+    tracer = _trace_glap_run()
+    by_key = {}
+    for e in tracer.of_kind("q_push"):
+        by_key.setdefault(
+            (e["round"], frozenset((e["node"], e["peer"]))), []
+        ).append(e)
+    asymmetric = [
+        events for events in by_key.values()
+        if len(events) == 2 and events[0]["entries"] != events[1]["entries"]
+    ]
+    assert asymmetric, "every exchange reported equal sizes on both sides"

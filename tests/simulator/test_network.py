@@ -182,3 +182,87 @@ class TestMessage:
         msg = Message(0, 1, "k")
         assert msg.payload is None
         assert msg.size_bytes == 0
+
+
+class TestPerDirectionBytes:
+    """Regression: an asymmetric push-pull exchange must charge each
+    direction its own payload, not the combined size twice."""
+
+    def test_exchange_ok_per_direction_sizes(self):
+        net = Network()
+        assert net.exchange_ok(0, 1, "glap/aggregate",
+                               req_bytes=36, rep_bytes=60)
+        assert net.stats.messages_sent == 2
+        assert net.stats.bytes_sent == 96  # 36 + 60, not 2 x 96
+
+    def test_symmetric_default_unchanged(self):
+        net = Network()
+        assert net.exchange_ok(0, 1, "x", size_bytes=5)
+        assert net.stats.bytes_sent == 10
+
+    def test_partial_override_falls_back_to_size_bytes(self):
+        net = Network()
+        assert net.exchange_ok(0, 1, "x", size_bytes=5, rep_bytes=20)
+        assert net.stats.bytes_sent == 25
+
+    def test_zero_byte_directions(self):
+        net = Network()
+        assert net.exchange_ok(0, 1, "x", req_bytes=0, rep_bytes=0)
+        assert net.stats.bytes_sent == 0
+        assert net.stats.messages_sent == 2
+
+
+class TestLossPrefixMatching:
+    """Focused suite for the `_loss_for` "most specific /-prefix wins"
+    contract, including the per-direction aggregation kinds."""
+
+    def test_exact_kind_beats_every_prefix(self):
+        net = Network(loss_per_kind={
+            "glap": 0.0,
+            "glap/aggregate": 0.0,
+            "glap/aggregate/req": 1.0,
+        })
+        assert net._loss_for("glap/aggregate/req") == 1.0
+        assert net._loss_for("glap/aggregate/rep") == 0.0
+        assert net._loss_for("glap/aggregate") == 0.0
+
+    def test_req_and_rep_inherit_from_exchange_kind(self):
+        net = Network(loss_per_kind={"glap/aggregate": 1.0})
+        assert net._loss_for("glap/aggregate/req") == 1.0
+        assert net._loss_for("glap/aggregate/rep") == 1.0
+        assert net._loss_for("glap/advert") == 0.0
+
+    def test_directional_loss_kills_the_whole_exchange(self):
+        # Dropping only replies still fails exchange_ok (push-pull needs
+        # both legs), while request-only traffic of that kind survives.
+        net = Network(loss_per_kind={"glap/aggregate/rep": 1.0})
+        assert net.deliver(Message(0, 1, "glap/aggregate/req")) is True
+        assert net.exchange_ok(0, 1, "glap/aggregate") is False
+
+    def test_walks_up_multiple_levels(self):
+        net = Network(loss_per_kind={"glap": 1.0})
+        assert net._loss_for("glap/aggregate/req") == 1.0
+        assert net._loss_for("glap") == 1.0
+        assert net._loss_for("glapx") == 0.0  # prefix is per /-segment
+
+    def test_no_match_falls_back_to_global(self):
+        net = Network(loss_probability=0.7,
+                      loss_per_kind={"cyclon": 0.1})
+        assert net._loss_for("glap/aggregate/req") == 0.7
+
+    def test_leading_slash_kind_is_degenerate_not_infinite(self):
+        # A kind like "/weird" has rfind("/") == 0; the walk must stop
+        # (cut > 0 guard) instead of probing "" forever or matching the
+        # root.  It falls back to the global probability.
+        net = Network(loss_probability=0.25, loss_per_kind={"weird": 1.0})
+        assert net._loss_for("/weird") == 0.25
+        assert net._loss_for("/") == 0.25
+
+    def test_leading_slash_exact_entry_still_matches(self):
+        net = Network(loss_per_kind={"/weird": 1.0})
+        assert net._loss_for("/weird") == 1.0
+        assert net._loss_for("/weird/sub") == 1.0
+
+    def test_empty_table_uses_global(self):
+        net = Network(loss_probability=0.4)
+        assert net._loss_for("anything/at/all") == 0.4
