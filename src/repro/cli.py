@@ -15,11 +15,14 @@
     glap run --shards 4 --pms 1000                       # sharded multi-process
     glap analyze trace.jsonl --summary B.json            # run-health report
     glap analyze --diff a.jsonl b.jsonl                  # trace diff
+    glap run --heartbeat hb.jsonl --postmortem pm.json   # live-observable run
+    glap watch hb.jsonl                                  # follow a live run
+    glap watch rundir --once --json                      # scriptable check
 
 ``analyze`` exits 0 when the run is healthy, 1 when any invariant
 check fails (or, with ``--diff``, when the traces differ) and 2 on
-usage errors — the same convention ``bench-compare`` uses, so both
-slot into CI gates directly.
+usage errors — the same convention ``bench-compare`` and ``watch``
+use, so all three slot into CI gates directly.
 
 Every command prints plain text; JSON output goes to ``--out`` files so
 results can be post-processed.
@@ -201,6 +204,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --shards, extra WAN energy surcharge for inter-shard "
         "migrations as a fraction of intra-DC migration energy "
         "(accounting only; default 0.25)",
+    )
+    p_run.add_argument(
+        "--heartbeat",
+        type=str,
+        nargs="?",
+        const="heartbeat.jsonl",
+        default=None,
+        metavar="PATH",
+        help="stream one JSONL heartbeat record per cadence tick for "
+        "`glap watch` (default path: heartbeat.jsonl; implies "
+        "--telemetry; a resumed run continues the same file)",
+    )
+    p_run.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="heartbeat cadence in rounds (default 1; raise for large "
+        "cells where per-round appends are noise)",
+    )
+    p_run.add_argument(
+        "--postmortem",
+        type=str,
+        nargs="?",
+        const="postmortem.json",
+        default=None,
+        metavar="PATH",
+        help="install the flight recorder: on invariant violation, "
+        "unhandled exception or SIGTERM/SIGINT, dump a post-mortem "
+        "bundle here (default postmortem.json; implied, with a path "
+        "derived from the heartbeat's, when --heartbeat is given)",
     )
     add_gossip_bw_args(p_run)
 
@@ -389,6 +423,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare two traces instead; exit 1 when they differ",
     )
 
+    p_watch = sub.add_parser(
+        "watch",
+        help="tail a live run's heartbeat stream: health verdict, progress, "
+        "ETA, overload curve, shard imbalance; "
+        "exit 0 healthy / 1 unhealthy / 2 usage error",
+    )
+    p_watch.add_argument(
+        "target",
+        type=str,
+        help="heartbeat JSONL file, or a run directory containing "
+        "heartbeat.jsonl",
+    )
+    p_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="report once and exit (default: refresh until the run "
+        "completes or aborts)",
+    )
+    p_watch.add_argument(
+        "--json",
+        type=str,
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the machine-readable report instead of the rendering "
+        "(to PATH, or stdout when no path is given)",
+    )
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="refresh period in seconds while following (default 5)",
+    )
+    p_watch.add_argument(
+        "--min-convergence",
+        type=float,
+        default=None,
+        metavar="X",
+        help="report unhealthy (exit 1) unless the latest Q-table "
+        "cosine-similarity gauge is at least X",
+    )
+
     return parser
 
 
@@ -430,7 +508,11 @@ def _scenario_from_args(args: argparse.Namespace, reps: int = 1) -> Scenario:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.heartbeat import HeartbeatWriter
     from repro.obs.profiler import PhaseProfiler
+    from repro.obs.recorder import FlightRecorder
     from repro.obs.summary import run_summary, write_summary
     from repro.obs.telemetry import TelemetryRegistry
     from repro.obs.tracer import JsonlTracer
@@ -440,9 +522,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     tracer = JsonlTracer(args.trace) if args.trace is not None else None
     profiler = PhaseProfiler() if args.profile else None
+    heartbeat = (
+        HeartbeatWriter(args.heartbeat, every=args.heartbeat_every)
+        if args.heartbeat is not None
+        else None
+    )
+    postmortem = args.postmortem
+    if postmortem is None and args.heartbeat is not None:
+        # A heartbeat-observed run gets the flight recorder for free:
+        # the bundle lands next to the stream it annotates.
+        hb = Path(args.heartbeat)
+        postmortem = str(hb.with_name(hb.stem + ".postmortem.json"))
+    recorder = FlightRecorder(postmortem) if postmortem is not None else None
     telemetry = (
         TelemetryRegistry(gauge_every=args.convergence_every)
-        if args.telemetry
+        # The heartbeat's counter deltas and live gauges come from the
+        # telemetry registry, so --heartbeat implies --telemetry.
+        if args.telemetry or heartbeat is not None
         else None
     )
     sharding = (
@@ -471,6 +567,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_to=args.checkpoint,
                 sharding=sharding,
+                heartbeat=heartbeat,
+                recorder=recorder,
             )
         else:
             result = run_policy(
@@ -483,6 +581,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_path=args.checkpoint,
                 sharding=sharding,
+                heartbeat=heartbeat,
+                recorder=recorder,
             )
     finally:
         if tracer is not None:
@@ -496,6 +596,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if tracer is not None:
         print(f"wrote {tracer.events_emitted} events to {args.trace}")
+    if heartbeat is not None:
+        print(
+            f"heartbeat: {heartbeat.ticks_written} ticks to {heartbeat.path} "
+            f"(watch with `glap watch {heartbeat.path}`)"
+        )
     if args.checkpoint is not None:
         print(f"wrote checkpoint {args.checkpoint}")
     if profiler is not None:
@@ -819,6 +924,61 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report["healthy"] else 1
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.watch import (
+        format_watch_report,
+        resolve_heartbeat_path,
+        watch_report_from_path,
+    )
+
+    def usage(message: str) -> int:
+        print(f"watch: {message}", file=sys.stderr)
+        return 2
+
+    if args.interval <= 0:
+        return usage("--interval must be > 0")
+    path = resolve_heartbeat_path(args.target)
+    if not path.is_file():
+        return usage(f"{path}: no heartbeat file")
+
+    def build():
+        return watch_report_from_path(path, min_convergence=args.min_convergence)
+
+    try:
+        report = build()
+        if not args.once:
+            # Follow mode: re-render until a terminal marker appears,
+            # then fall through to the final report below.
+            try:
+                while not (
+                    report["markers"]["complete"] or report["markers"]["aborted"]
+                ):
+                    print(format_watch_report(report))
+                    print(flush=True)
+                    time.sleep(args.interval)
+                    report = build()
+            except KeyboardInterrupt:
+                print()
+    except (OSError, ValueError) as exc:
+        # A malformed stream (no header, interior corruption) is a
+        # usage error: the target is not a heartbeat file.
+        return usage(str(exc))
+
+    if args.json is not None:
+        text = _json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text)
+            print(f"wrote {args.json}")
+    else:
+        print(format_watch_report(report))
+    return 0 if report["healthy"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -831,6 +991,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "bench-compare": _cmd_bench_compare,
         "analyze": _cmd_analyze,
+        "watch": _cmd_watch,
     }
     return handlers[args.command](args)
 

@@ -16,9 +16,12 @@ Run structure::
 
 from __future__ import annotations
 
+import signal
+import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
 
 from repro.baselines.base import ConsolidationPolicy
@@ -36,13 +39,15 @@ from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import RunResult
 from repro.metrics.sla import slalm, slavo
+from repro.obs.heartbeat import HeartbeatWriter
 from repro.obs.observers import OverloadTraceObserver
 from repro.obs.profiler import NULL_PROFILER, NullProfiler
+from repro.obs.recorder import FlightRecorder
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import Simulation
 from repro.simulator.node import Node
-from repro.simulator.observer import InvariantObserver
+from repro.simulator.observer import InvariantObserver, InvariantViolation
 from repro.traces.base import TraceSource
 from repro.traces.google import GoogleLikeTraceGenerator, GoogleTraceParams
 from repro.util.rng import RngStreams
@@ -197,6 +202,94 @@ class TraceCache:
         return len(self._entries)
 
 
+class _SignalAbort(BaseException):
+    """SIGTERM/SIGINT converted into an exception by the failure guard.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so ordinary
+    ``except Exception`` handlers inside the run body cannot swallow a
+    termination request; raising it from the handler lets the flight
+    recorder dump on the main thread with the event ring intact.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"terminated by signal {signum}")
+        self.signum = signum
+
+
+def _classify_failure(exc: BaseException) -> str:
+    """Map a dying run's exception onto a flight-recorder dump reason."""
+    if isinstance(exc, InvariantViolation):
+        return "invariant_violation"
+    if isinstance(exc, _SignalAbort):
+        return "sigterm" if exc.signum == signal.SIGTERM else "sigint"
+    return "exception"
+
+
+class _FailureGuard:
+    """One funnel for every way a run can die (see ISSUE: flight recorder).
+
+    Entered around the run body when observability is wired in.  While a
+    flight recorder is installed (and we are on the main thread, where
+    Python allows it), SIGTERM/SIGINT are converted to
+    :class:`_SignalAbort`.  Any ``BaseException`` escaping the body is
+    classified (invariant violation / signal / exception), dumped as a
+    post-mortem bundle, and marked on the heartbeat stream — then
+    re-raised, signals as ``SystemExit(128 + signum)`` per the Unix
+    convention.  With neither recorder nor heartbeat this is a no-op.
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[FlightRecorder],
+        heartbeat: Optional[HeartbeatWriter],
+    ) -> None:
+        self._recorder = recorder
+        self._heartbeat = heartbeat
+        self._previous: Dict[int, Any] = {}
+
+    def __enter__(self) -> "_FailureGuard":
+        if (
+            self._recorder is not None
+            and threading.current_thread() is threading.main_thread()
+        ):
+            def _raise(signum: int, frame: Any) -> None:
+                raise _SignalAbort(signum)
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._previous[signum] = signal.signal(signum, _raise)
+                except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                    pass
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        if exc is None:
+            return False
+        reason = _classify_failure(exc)
+        # Best-effort on the crash path: a failing dump must not mask
+        # the original exception.
+        if self._recorder is not None:
+            try:
+                self._recorder.dump(reason, error=repr(exc))
+            except Exception:
+                pass
+        if self._heartbeat is not None and self._heartbeat.started:
+            try:
+                self._heartbeat.abort(reason, error=repr(exc))
+            except Exception:
+                pass
+        if isinstance(exc, _SignalAbort):
+            raise SystemExit(128 + exc.signum) from exc
+        return False
+
+
 def _validate_checkpoint_args(
     checkpoint_every: Optional[int],
     checkpoint_path: Optional[Union[str, Path]],
@@ -215,6 +308,8 @@ def _run_eval(
     round_hook: Optional[Callable[[int, DataCenter, Simulation], None]] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    heartbeat: Optional[HeartbeatWriter] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> RunResult:
     """Drive the evaluation loop of ``env`` to completion and assemble the
     result.
@@ -256,16 +351,46 @@ def _run_eval(
         if round_hook is not None:
             round_hook(r, dc, sim)
         env.eval_rounds_done = r + 1
+        if heartbeat is not None and heartbeat.due(sim.round_index - 1):
+            # After the round's sample and hook, before the checkpoint
+            # save — so a resume from that checkpoint continues the tick
+            # stream exactly where it left off.
+            heartbeat.tick(
+                round_index=sim.round_index - 1,
+                stage="eval",
+                eval_round=env.eval_rounds_done,
+                telemetry=sim.telemetry,
+                active_pms=dc.active_count(),
+                overloaded_pms=dc.overloaded_count(),
+                shard_imbalance=(
+                    env.sharding.phase_imbalance()
+                    if env.sharding is not None
+                    else None
+                ),
+            )
         if (
             checkpoint_every is not None
             and env.eval_rounds_done % checkpoint_every == 0
         ):
             save_checkpoint(env, checkpoint_path)  # type: ignore[arg-type]
             last_saved = env.eval_rounds_done
+            if recorder is not None:
+                recorder.checkpoint_saved(
+                    checkpoint_path,  # type: ignore[arg-type]
+                    env.eval_rounds_done,
+                )
     if checkpoint_path is not None and last_saved != env.eval_rounds_done:
         save_checkpoint(env, checkpoint_path)
+        if recorder is not None:
+            recorder.checkpoint_saved(checkpoint_path, env.eval_rounds_done)
 
     sim.finish()  # exactly one on_simulation_end per logical run
+    if env.sharding is not None:
+        # Per-shard compute/wait measured by the coordinator joins the
+        # breakdown under shard/phase_* (no-op when profiling is off).
+        env.sharding.profile.merge_into_profiler(prof)
+    if heartbeat is not None:
+        heartbeat.complete()
     result = RunResult(
         policy=policy.name,
         n_pms=scenario.n_pms,
@@ -316,6 +441,8 @@ def run_policy(
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     sharding: Optional[ShardConfig] = None,
+    heartbeat: Optional[HeartbeatWriter] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> RunResult:
     """Run one policy through warmup + evaluation; returns the result.
 
@@ -354,27 +481,53 @@ def run_policy(
     shared memory — results are bit-identical for every K, including
     K=1 vs no sharding at all (the golden suite asserts it); only the
     new ``shard/*`` telemetry counters differ across K.
+
+    ``heartbeat`` (a :class:`~repro.obs.heartbeat.HeartbeatWriter`)
+    streams one JSONL record per cadence tick for ``glap watch``;
+    ``recorder`` (a :class:`~repro.obs.recorder.FlightRecorder`) keeps a
+    bounded ring of recent events and dumps a post-mortem bundle when
+    the run dies — from an invariant violation, an unhandled exception,
+    or SIGTERM/SIGINT (converted to an exception while a recorder is
+    installed).  Both read clocks only, never the RNG streams, so
+    results stay bit-identical with them enabled.
     """
     _validate_checkpoint_args(checkpoint_every, checkpoint_path)
+    if recorder is not None:
+        recorder.bind(
+            config={
+                "policy": policy.name,
+                "seed": int(seed),
+                "n_pms": scenario.n_pms,
+                "n_vms": scenario.n_vms,
+                "rounds": scenario.rounds,
+                "warmup_rounds": scenario.warmup_rounds,
+                "round_seconds": scenario.round_seconds,
+                "n_shards": sharding.n_shards if sharding is not None else None,
+            },
+            heartbeat_path=heartbeat.path if heartbeat is not None else None,
+        )
     runtime: Optional[ShardRuntime] = None
     if sharding is not None:
         runtime = ShardRuntime(sharding, scenario.n_pms, scenario.n_vms, seed)
     try:
-        return _run_policy_inner(
-            scenario,
-            policy,
-            seed,
-            runtime,
-            round_hook=round_hook,
-            trace=trace,
-            faults=faults,
-            check_invariants=check_invariants,
-            tracer=tracer,
-            profiler=profiler,
-            telemetry=telemetry,
-            checkpoint_every=checkpoint_every,
-            checkpoint_path=checkpoint_path,
-        )
+        with _FailureGuard(recorder, heartbeat):
+            return _run_policy_inner(
+                scenario,
+                policy,
+                seed,
+                runtime,
+                round_hook=round_hook,
+                trace=trace,
+                faults=faults,
+                check_invariants=check_invariants,
+                tracer=tracer,
+                profiler=profiler,
+                telemetry=telemetry,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                heartbeat=heartbeat,
+                recorder=recorder,
+            )
     finally:
         if runtime is not None:
             runtime.shutdown()
@@ -394,10 +547,16 @@ def _run_policy_inner(
     telemetry: Optional[Telemetry] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    heartbeat: Optional[HeartbeatWriter] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> RunResult:
     dc, sim, streams = build_simulation(scenario, seed, trace=trace, sharding=runtime)
 
     tracer = tracer if tracer is not None else NULL_TRACER
+    if recorder is not None:
+        # Tee every typed event through the flight ring; the inner
+        # tracer (possibly the null one) keeps its contract unchanged.
+        tracer = recorder.wrap(tracer)
     prof = profiler if profiler is not None else NULL_PROFILER
     telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     dc.tracer = tracer
@@ -439,6 +598,24 @@ def _run_policy_inner(
 
     policy.attach(dc, sim, streams, scenario.warmup_rounds)
 
+    if recorder is not None:
+        # Stream names are complete only after attach (policies register
+        # their protocol streams there).
+        recorder.bind(
+            telemetry=telemetry if telemetry.enabled else None,
+            stream_names=streams.names(),
+        )
+    if heartbeat is not None:
+        heartbeat.start(
+            policy=policy.name,
+            n_pms=scenario.n_pms,
+            n_vms=scenario.n_vms,
+            seed=seed,
+            rounds_total=scenario.total_rounds,
+            warmup_rounds=scenario.warmup_rounds,
+            eval_rounds=scenario.rounds,
+        )
+
     # The per-stage timers cost one no-op context manager per stage per
     # round when profiling is off — far below measurement noise.
     for _ in range(scenario.warmup_rounds):
@@ -453,6 +630,17 @@ def _run_policy_inner(
             policy.step(dc, sim)
         if telemetry.enabled:
             telemetry.end_round(sim.round_index - 1)
+        if heartbeat is not None and heartbeat.due(sim.round_index - 1):
+            heartbeat.tick(
+                round_index=sim.round_index - 1,
+                stage="warmup",
+                telemetry=telemetry,
+                active_pms=dc.active_count(),
+                overloaded_pms=dc.overloaded_count(),
+                shard_imbalance=(
+                    runtime.phase_imbalance() if runtime is not None else None
+                ),
+            )
 
     policy.end_warmup(dc, sim)
     dc.reset_accounting()
@@ -474,6 +662,8 @@ def _run_policy_inner(
         round_hook=round_hook,
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_path,
+        heartbeat=heartbeat,
+        recorder=recorder,
     )
 
 
@@ -488,6 +678,8 @@ def resume_policy(
     checkpoint_every: Optional[int] = None,
     checkpoint_to: Optional[Union[str, Path]] = None,
     sharding: Optional[ShardConfig] = None,
+    heartbeat: Optional[HeartbeatWriter] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> RunResult:
     """Resume a run from a checkpoint and drive it to completion.
 
@@ -506,7 +698,18 @@ def resume_policy(
     by default a checkpoint written by a sharded run resumes with the
     recorded shard count.  Because results are bit-identical across K,
     resuming a 4-shard checkpoint at K=1 (or vice versa) is valid.
+
+    ``heartbeat`` continues the original run's stream when pointed at
+    the same file: the writer repairs a torn tail, rebuilds its counter
+    baseline from the surviving ticks, and appends a ``resumed`` marker
+    — the combined stream is identical (modulo ``timing``) to an
+    uninterrupted run's.  ``recorder`` behaves as in :func:`run_policy`,
+    seeded with the checkpoint just restored from as its latest pointer.
     """
+    if recorder is not None and tracer is None:
+        tracer = NULL_TRACER
+    if recorder is not None:
+        tracer = recorder.wrap(tracer)  # type: ignore[arg-type]
     env = restore_checkpoint(
         checkpoint_path,
         policy,
@@ -516,16 +719,53 @@ def resume_policy(
         telemetry=telemetry,
         sharding=sharding,
     )
+    scenario = env.scenario
+    if recorder is not None:
+        recorder.bind(
+            config={
+                "policy": env.policy.name,
+                "seed": int(env.seed),
+                "n_pms": scenario.n_pms,
+                "n_vms": scenario.n_vms,
+                "rounds": scenario.rounds,
+                "warmup_rounds": scenario.warmup_rounds,
+                "round_seconds": scenario.round_seconds,
+                "n_shards": (
+                    env.sharding.config.n_shards
+                    if env.sharding is not None
+                    else None
+                ),
+                "resumed_from_checkpoint": str(checkpoint_path),
+            },
+            telemetry=env.sim.telemetry if env.sim.telemetry.enabled else None,
+            stream_names=env.streams.names(),
+            heartbeat_path=heartbeat.path if heartbeat is not None else None,
+        )
+        recorder.checkpoint_saved(checkpoint_path, env.eval_rounds_done)
+    if heartbeat is not None:
+        heartbeat.start(
+            policy=env.policy.name,
+            n_pms=scenario.n_pms,
+            n_vms=scenario.n_vms,
+            seed=env.seed,
+            rounds_total=scenario.total_rounds,
+            warmup_rounds=scenario.warmup_rounds,
+            eval_rounds=scenario.rounds,
+            resumed_from=env.eval_rounds_done,
+        )
     target = checkpoint_to if checkpoint_to is not None else (
         checkpoint_path if checkpoint_every is not None else None
     )
     try:
-        return _run_eval(
-            env,
-            round_hook=round_hook,
-            checkpoint_every=checkpoint_every,
-            checkpoint_path=target,
-        )
+        with _FailureGuard(recorder, heartbeat):
+            return _run_eval(
+                env,
+                round_hook=round_hook,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=target,
+                heartbeat=heartbeat,
+                recorder=recorder,
+            )
     finally:
         if env.sharding is not None:
             env.sharding.shutdown()

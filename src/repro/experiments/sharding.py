@@ -45,6 +45,7 @@ import hashlib
 import multiprocessing
 import os
 import queue as queue_mod
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
@@ -60,6 +61,7 @@ from repro.datacenter.shmem import (
     detach_views,
 )
 from repro.faults.plan import FaultPlan
+from repro.obs.profiler import NULL_PROFILER
 from repro.util.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
@@ -73,6 +75,7 @@ __all__ = [
     "ShardMap",
     "CrossShardLedger",
     "ShardWorkerPool",
+    "ShardPhaseProfile",
     "ShardRuntime",
     "shard_partition_plan",
     "check_shard_invariants",
@@ -276,13 +279,18 @@ def _shard_worker_main(
                 ack_queue.put((shard_id, "ok", None))
                 return
             try:
+                # Kernel compute time rides back in the ack's detail slot
+                # so the coordinator can split per-shard compute from
+                # barrier wait.  Clock reads never touch the RNG, so the
+                # measurement cannot perturb the simulation.
+                t0 = time.perf_counter()
                 if cmd[0] == "phase_a":
                     _phase_a_slice(views, v0, v1, cmd[1])
                 elif cmd[0] == "phase_b":
                     _phase_b_slice(views, p0, p1, cmd[1])
                 else:
                     raise ValueError(f"unknown shard command {cmd[0]!r}")
-                ack_queue.put((shard_id, "ok", None))
+                ack_queue.put((shard_id, "ok", time.perf_counter() - t0))
             except Exception:
                 ack_queue.put((shard_id, "error", traceback.format_exc()))
     finally:
@@ -329,13 +337,21 @@ class ShardWorkerPool:
     def n_workers(self) -> int:
         return len(self._procs)
 
-    def run_phase(self, name: str, round_seconds: float, timeout: float = 120.0) -> None:
-        """Broadcast one phase command and barrier on all acks."""
+    def run_phase(
+        self, name: str, round_seconds: float, timeout: float = 120.0
+    ) -> Dict[int, float]:
+        """Broadcast one phase command and barrier on all acks.
+
+        Returns the per-shard kernel compute seconds reported in the
+        acks — the raw material for the compute-vs-barrier-wait split
+        in :class:`ShardPhaseProfile`.
+        """
         if self._stopped:
             raise RuntimeError("worker pool is stopped")
         for q in self._cmd_queues:
             q.put((name, round_seconds))
         errors: List[str] = []
+        compute: Dict[int, float] = {}
         for _ in range(len(self._procs)):
             try:
                 shard_id, status, detail = self._ack_queue.get(timeout=timeout)
@@ -347,12 +363,15 @@ class ShardWorkerPool:
                 ) from None
             if status != "ok":
                 errors.append(f"shard {shard_id}:\n{detail}")
+            elif detail is not None:
+                compute[shard_id] = float(detail)
         if errors:
             self.stop()
             raise RuntimeError(
                 f"shard phase {name!r} failed in {len(errors)} worker(s):\n"
                 + "\n".join(errors)
             )
+        return compute
 
     def stop(self, timeout: float = 10.0) -> None:
         """Stop and join every worker (idempotent; terminates stragglers)."""
@@ -608,6 +627,113 @@ class CrossShardLedger:
         ]
 
 
+# -- per-shard phase profiling -----------------------------------------------
+
+
+class ShardPhaseProfile:
+    """Cumulative compute-vs-barrier-wait accounting per shard per phase.
+
+    The coordinator measures each phase's barrier wall time; every
+    worker reports its kernel compute seconds in its ack.  The gap
+    ``wall - compute`` is that shard's barrier wait — time it spent
+    idle while a slower sibling finished — which is exactly the load
+    skew an operator wants to see on a live federation run.  All of it
+    is clock arithmetic, never RNG, so the accounting cannot perturb
+    the simulation.
+
+    In inline mode (no workers) the coordinator runs the slices
+    serially and times each one; "wall" is the sum of the slice times,
+    so the wait column then reads as "time the round spent on *other*
+    shards' slices" — the same skew signal, serialised.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        self.n_shards = int(n_shards)
+        #: phase name -> {"rounds", "wall_s", "compute_s"[K], "wait_s"[K]}
+        self.phases: Dict[str, Dict[str, Any]] = {}
+
+    def record(self, name: str, wall_s: float, compute: Dict[int, float]) -> None:
+        """Fold one barrier's measurements in."""
+        entry = self.phases.get(name)
+        if entry is None:
+            entry = self.phases[name] = {
+                "rounds": 0,
+                "wall_s": 0.0,
+                "compute_s": [0.0] * self.n_shards,
+                "wait_s": [0.0] * self.n_shards,
+            }
+        entry["rounds"] += 1
+        entry["wall_s"] += wall_s
+        for s in range(self.n_shards):
+            c = float(compute.get(s, 0.0))
+            entry["compute_s"][s] += c
+            entry["wait_s"][s] += max(0.0, wall_s - c)
+
+    def per_shard_compute_s(self) -> List[float]:
+        """Total kernel compute per shard, summed over phases."""
+        totals = [0.0] * self.n_shards
+        for entry in self.phases.values():
+            for s in range(self.n_shards):
+                totals[s] += entry["compute_s"][s]
+        return totals
+
+    def imbalance(self) -> float:
+        """``max/mean`` of per-shard cumulative compute (1.0 = balanced).
+
+        Returns 1.0 before any phase has run — the neutral value, so a
+        heartbeat tick emitted before the first barrier is well-formed.
+        """
+        totals = self.per_shard_compute_s()
+        mean = sum(totals) / len(totals) if totals else 0.0
+        if mean <= 0.0:
+            return 1.0
+        return max(totals) / mean
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (heartbeat / post-mortem consumers)."""
+        return {
+            "n_shards": self.n_shards,
+            "phase_max_over_mean": self.imbalance(),
+            "phases": {
+                name: {
+                    "rounds": entry["rounds"],
+                    "wall_s": entry["wall_s"],
+                    "compute_s": list(entry["compute_s"]),
+                    "wait_s": list(entry["wait_s"]),
+                }
+                for name, entry in self.phases.items()
+            },
+        }
+
+    def merge_into_profiler(self, profiler: Any) -> None:
+        """Fold per-shard compute/wait into a :class:`PhaseProfiler`.
+
+        The barrier wall time is already recorded live (the runtime
+        opens ``shard/phase_*`` spans inside ``advance_round``); here
+        the external, per-worker measurements join the tree under those
+        spans via ``profiler.add`` — so the bench summary's timings
+        section carries the full split without touching
+        ``top_level_s``.
+        """
+        if not getattr(profiler, "enabled", False):
+            return
+        for name, entry in self.phases.items():
+            parent = f"shard/{name}"
+            for s in range(self.n_shards):
+                profiler.add(
+                    f"{parent}/s{s}/compute",
+                    entry["compute_s"][s],
+                    calls=entry["rounds"],
+                    parent=parent,
+                )
+                profiler.add(
+                    f"{parent}/s{s}/wait",
+                    entry["wait_s"][s],
+                    calls=entry["rounds"],
+                    parent=parent,
+                )
+
+
 # -- the runtime -------------------------------------------------------------
 
 
@@ -636,6 +762,7 @@ class ShardRuntime:
         self.arena: Optional[SharedColumnArena] = (
             SharedColumnArena(arena_prefix) if config.workers else None
         )
+        self.profile = ShardPhaseProfile(config.n_shards)
         self._allocated: set = set()
         self._pool: Optional[ShardWorkerPool] = None
         self._cols: Optional[Dict[str, np.ndarray]] = None
@@ -704,24 +831,45 @@ class ShardRuntime:
         Runs at the top of every round: first settles the *previous*
         round's cross-shard ledger (migration scan + ordered batch
         application), then executes phase A (worker barrier), the global
-        reduce, and phase B (worker barrier).
+        reduce, and phase B (worker barrier).  Each barrier is measured
+        — wall time by the coordinator, kernel compute per worker ack —
+        and folded into :attr:`profile`; with a live profiler the
+        ``shard/phase_*`` spans also nest under ``advance_round``.
         """
         assert self._cols is not None and self._dc is not None
         self.ledger.scan_migrations(self._dc.migrations)
         self.ledger.flush()
+        self._cols["shard_demands"][:] = demands
+        self._run_sharded_phase("phase_a", round_seconds)
+        _reduce_pm_cpu(self._cols)
+        self._run_sharded_phase("phase_b", round_seconds)
+
+    def _run_sharded_phase(self, name: str, round_seconds: float) -> None:
+        """One barrier phase, measured (worker pool or inline slices)."""
+        assert self._cols is not None
         cols = self._cols
-        cols["shard_demands"][:] = demands
-        if self._pool is not None:
-            self._pool.run_phase("phase_a", round_seconds)
-        else:
-            for v0, v1 in self.map.vm_bounds:
-                _phase_a_slice(cols, v0, v1, round_seconds)
-        _reduce_pm_cpu(cols)
-        if self._pool is not None:
-            self._pool.run_phase("phase_b", round_seconds)
-        else:
-            for p0, p1 in self.map.pm_bounds:
-                _phase_b_slice(cols, p0, p1, round_seconds)
+        prof = getattr(self._sim, "profiler", NULL_PROFILER)
+        with prof.phase(f"shard/{name}"):
+            t0 = time.perf_counter()
+            compute: Dict[int, float]
+            if self._pool is not None:
+                compute = self._pool.run_phase(name, round_seconds)
+            else:
+                compute = {}
+                bounds = (
+                    self.map.vm_bounds if name == "phase_a" else self.map.pm_bounds
+                )
+                kernel = _phase_a_slice if name == "phase_a" else _phase_b_slice
+                for s, (lo, hi) in enumerate(bounds):
+                    s0 = time.perf_counter()
+                    kernel(cols, lo, hi, round_seconds)
+                    compute[s] = time.perf_counter() - s0
+            self.profile.record(name, time.perf_counter() - t0, compute)
+
+    def phase_imbalance(self) -> float:
+        """``max/mean`` per-shard cumulative compute (the heartbeat's
+        ``shard/phase_max_over_mean`` gauge; 1.0 until data arrives)."""
+        return self.profile.imbalance()
 
     # -- checkpointing -------------------------------------------------------
 

@@ -46,6 +46,8 @@ import json
 from pathlib import Path
 from typing import IO, Any, Dict, Iterator, List, Union
 
+from repro.util.io import iter_jsonl
+
 __all__ = [
     "EVENT_KINDS",
     "Tracer",
@@ -166,54 +168,53 @@ class RecordingTracer(Tracer):
         return [e for e in self.events if e["ev"] == kind]
 
 
-def read_trace(source: Union[str, Path, IO[str]]) -> Iterator[Dict[str, Any]]:
+def read_trace(
+    source: Union[str, Path, IO[str]], allow_partial_tail: bool = False
+) -> Iterator[Dict[str, Any]]:
     """Yield the events of a JSONL trace, validating the envelope.
 
     Raises ``ValueError`` on a malformed line (bad JSON, missing
     envelope key, or unregistered event kind) with the 1-based line
     number, so a truncated or corrupted trace fails loudly.
+
+    ``allow_partial_tail=True`` tolerates a torn *final* line — the
+    state of a live trace whose writer is mid-``write`` (or died there)
+    — by stopping before it instead of raising.  A bad line with more
+    data after it is corruption either way and still raises, so tail-
+    following a live run never silently skips interior damage.
     """
-    fh: IO[str]
-    owns = isinstance(source, (str, Path))
-    fh = open(source, "r", encoding="utf-8") if owns else source  # type: ignore[arg-type]
-    try:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"trace line {lineno}: invalid JSON ({exc})") from None
-            if not isinstance(event, dict):
-                raise ValueError(f"trace line {lineno}: expected an object")
-            missing = [k for k in ENVELOPE_KEYS if k not in event]
-            if missing:
-                raise ValueError(f"trace line {lineno}: missing envelope keys {missing}")
-            if event["ev"] not in EVENT_KINDS:
-                raise ValueError(
-                    f"trace line {lineno}: unknown event kind {event['ev']!r}"
-                )
-            yield event
-    finally:
-        if owns:
-            fh.close()
+    for lineno, event in iter_jsonl(
+        source, allow_partial_tail=allow_partial_tail, where="trace"
+    ):
+        if not isinstance(event, dict):
+            raise ValueError(f"trace line {lineno}: expected an object")
+        missing = [k for k in ENVELOPE_KEYS if k not in event]
+        if missing:
+            raise ValueError(f"trace line {lineno}: missing envelope keys {missing}")
+        if event["ev"] not in EVENT_KINDS:
+            raise ValueError(
+                f"trace line {lineno}: unknown event kind {event['ev']!r}"
+            )
+        yield event
 
 
 def read_trace_batches(
-    source: Union[str, Path, IO[str]], batch_size: int = 65536
+    source: Union[str, Path, IO[str]],
+    batch_size: int = 65536,
+    allow_partial_tail: bool = False,
 ) -> Iterator[List[Dict[str, Any]]]:
     """Stream a trace in bounded batches of validated events.
 
     The batched shape lets columnar consumers (``glap analyze``) process
     multi-GB traces with at most ``batch_size`` event dicts alive at
     once, while amortising per-event overhead.  The final batch may be
-    shorter; an empty trace yields nothing.
+    shorter; an empty trace yields nothing.  ``allow_partial_tail``
+    passes through to :func:`read_trace`.
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be > 0, got {batch_size}")
     batch: List[Dict[str, Any]] = []
-    for event in read_trace(source):
+    for event in read_trace(source, allow_partial_tail=allow_partial_tail):
         batch.append(event)
         if len(batch) >= batch_size:
             yield batch

@@ -1,4 +1,4 @@
-"""Atomic file writes.
+"""Atomic file writes and appends.
 
 Durable artifacts — learned Q-models, checkpoints, result archives,
 bench summaries — must never be observable half-written: a crash during
@@ -7,15 +7,31 @@ corrupt JSON, silently poisoning a resume.  The cure is the standard
 write-to-temp-then-rename dance: POSIX ``rename(2)`` within one
 directory is atomic, so readers see either the complete old content or
 the complete new content, never a mixture.
+
+Streaming artifacts (the heartbeat sink) need the *append* analogue:
+each record is one whole line handed to the kernel in a single
+``write(2)`` on an ``O_APPEND`` descriptor, so a concurrent tail-reader
+sees each line either entirely or not at all, and two appenders never
+interleave within a line.  A crash can still truncate the final line
+(the process died mid-``write``), which is why the JSONL readers grow
+an ``allow_partial_tail`` escape hatch rather than pretending torn
+tails cannot happen.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Any, Union
+from typing import IO, Any, Iterator, Tuple, Union
 
-__all__ = ["atomic_write_text", "atomic_write_json"]
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "append_text_line",
+    "append_jsonl",
+    "iter_jsonl",
+]
 
 
 def atomic_write_text(text: str, path: Union[str, Path]) -> None:
@@ -46,3 +62,70 @@ def atomic_write_json(payload: Any, path: Union[str, Path], **dumps_kwargs: Any)
     """
     text = json.dumps(payload, **dumps_kwargs)
     atomic_write_text(text, path)
+
+
+def append_text_line(line: str, path: Union[str, Path]) -> None:
+    """Append one newline-terminated line via a single ``write(2)``.
+
+    The descriptor is opened ``O_APPEND`` and the whole line (newline
+    included) goes to the kernel in one call, so concurrent readers of
+    a regular file never observe a torn *prefix* of the line — the only
+    failure mode left is a crash truncating the final line, which the
+    ``allow_partial_tail`` readers tolerate.  ``line`` must not contain
+    embedded newlines (it would silently become several records).
+    """
+    if "\n" in line:
+        raise ValueError("append_text_line takes a single line (no embedded newlines)")
+    data = (line + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def append_jsonl(payload: Any, path: Union[str, Path]) -> None:
+    """Serialise ``payload`` compactly and append it as one JSONL line."""
+    append_text_line(json.dumps(payload, separators=(",", ":")), path)
+
+
+def iter_jsonl(
+    source: Union[str, Path, IO[str]],
+    allow_partial_tail: bool = False,
+    where: str = "jsonl",
+) -> Iterator[Tuple[int, Any]]:
+    """Stream ``(lineno, payload)`` pairs from a JSON Lines source.
+
+    Blank lines are skipped.  A malformed line raises ``ValueError``
+    with its 1-based line number — unless ``allow_partial_tail`` is set
+    *and* the malformed line is the final non-blank line of the file,
+    in which case iteration simply stops before it.  That is exactly
+    the shape of a live file whose writer is mid-``write`` (or died
+    there): tail-followers opt in, archival readers stay strict.
+    A malformed line *followed by more data* is corruption, not a torn
+    tail, and raises regardless.
+    """
+    owns = isinstance(source, (str, Path))
+    fh: IO[str] = open(source, "r", encoding="utf-8") if owns else source  # type: ignore[arg-type]
+    try:
+        # Defer the error for a bad line until we know whether anything
+        # follows it: final line -> tolerated tail, otherwise corruption.
+        pending_error: str | None = None
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if pending_error is not None:
+                raise ValueError(pending_error)
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                message = f"{where} line {lineno}: invalid JSON ({exc})"
+                if allow_partial_tail:
+                    pending_error = message
+                    continue
+                raise ValueError(message) from None
+            yield lineno, payload
+    finally:
+        if owns:
+            fh.close()

@@ -85,10 +85,89 @@ class TestPhaseProfiler:
         except RuntimeError:
             pass
         assert prof.breakdown()["risky"]["calls"] == 1
-        assert prof._depth == 0  # depth unwinds even on error
+        assert prof._stack == []  # the span stack unwinds even on error
+
+    def test_self_time_excludes_children(self):
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            time.sleep(0.004)
+            with prof.phase("inner"):
+                time.sleep(0.01)
+        bd = prof.breakdown()
+        assert bd["inner"]["parent"] == "outer"
+        assert "parent" not in bd["outer"]
+        assert (
+            abs(
+                bd["outer"]["self_s"]
+                - (bd["outer"]["total_s"] - bd["inner"]["total_s"])
+            )
+            < 1e-9
+        )
+
+    def test_add_folds_external_timing_without_top_level(self):
+        prof = PhaseProfiler()
+        with prof.phase("own"):
+            pass
+        own_top = prof.top_level_s
+        prof.add("shard/phase_a/s0/compute", 1.25, calls=5, parent="shard/phase_a")
+        stats = prof.breakdown()["shard/phase_a/s0/compute"]
+        assert stats["total_s"] == stats["self_s"] == 1.25
+        assert stats["calls"] == 5
+        assert stats["parent"] == "shard/phase_a"
+        assert prof.top_level_s == own_top  # externals never inflate it
+
+
+class TestFormatLayout:
+    """Pins the report layout: tree indentation, %parent column,
+    siblings in descending self-time order (satellite of ISSUE 10)."""
+
+    def _external_profiler(self) -> PhaseProfiler:
+        # Built purely from add() so every number is deterministic.
+        prof = PhaseProfiler()
+        prof.add("round", 8.0, calls=2)
+        prof.add("metrics", 2.0, calls=2, parent="round")
+        prof.add("gossip", 6.0, calls=2, parent="round")
+        return prof
+
+    def test_exact_layout(self):
+        assert self._external_profiler().format() == "\n".join(
+            [
+                "phase                   total        self     calls  %parent",
+                "round                  8.000s      8.000s         2  100.0%",
+                "  gossip               6.000s      6.000s         2   75.0%",
+                "  metrics              2.000s      2.000s         2   25.0%",
+                "(top-level total)      0.000s",
+            ]
+        )
+
+    def test_siblings_sorted_by_self_time(self):
+        text = self._external_profiler().format()
+        assert text.index("gossip") < text.index("metrics")
+
+    def test_children_indented_under_parent(self):
+        lines = self._external_profiler().format().splitlines()
+        assert any(line.startswith("round") for line in lines)
+        assert any(line.startswith("  gossip") for line in lines)
+
+    def test_unrecorded_parent_roots_the_phase(self):
+        prof = PhaseProfiler()
+        prof.add("orphan", 1.0, parent="never_entered")
+        lines = prof.format().splitlines()
+        assert any(line.startswith("orphan") for line in lines)
+
+    def test_live_spans_show_percent_of_top_level(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            time.sleep(0.002)
+        row = next(
+            line for line in prof.format().splitlines() if line.startswith("a")
+        )
+        assert row.rstrip().endswith("%")
 
 
 def test_phase_stats_dict_shape():
     stats = PhaseStats("x")
-    stats.total_s, stats.calls = 1.5, 2
-    assert stats.as_dict() == {"total_s": 1.5, "calls": 2}
+    stats.total_s, stats.self_s, stats.calls = 1.5, 1.0, 2
+    assert stats.as_dict() == {"total_s": 1.5, "self_s": 1.0, "calls": 2}
+    stats.parent = "p"
+    assert stats.as_dict()["parent"] == "p"

@@ -145,6 +145,73 @@ class TestReadTrace:
             next(it)
 
 
+class TestPartialTail:
+    """Tail-tolerant reading of a live (or crashed) trace file.
+
+    A tracer that dies mid-append leaves a torn final line; with
+    ``allow_partial_tail=True`` the readers stop cleanly before it
+    instead of raising — interior corruption still raises.
+    """
+
+    GOOD = '{"ev":"pm_sleep","round":1,"node":2}\n'
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert list(read_trace(path, allow_partial_tail=True)) == []
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self.GOOD + '{"ev":"pm_wake","rou')
+        events = list(read_trace(path, allow_partial_tail=True))
+        assert [e["ev"] for e in events] == ["pm_sleep"]
+
+    def test_truncated_tail_raises_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self.GOOD + '{"ev":"pm_wake","rou')
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(path)
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self.GOOD + "{torn\n" + self.GOOD)
+        with pytest.raises(ValueError, match="line 2"):
+            list(read_trace(path, allow_partial_tail=True))
+
+    def test_resumed_append_after_torn_tail(self, tmp_path):
+        """The resume scenario: a repaired file (torn tail truncated)
+        appended to by a new writer reads back whole under either mode."""
+        path = tmp_path / "t.jsonl"
+        path.write_text(self.GOOD + '{"ev":"pm_wake","rou')
+        # Repair exactly as HeartbeatWriter does: drop past the last \n.
+        data = path.read_bytes()
+        path.write_bytes(data[: data.rfind(b"\n") + 1])
+        with path.open("a") as sink:
+            with JsonlTracer(sink) as tr:
+                tr.emit("pm_wake", 2, 3, recover=False)
+        assert [e["ev"] for e in load_trace(path)] == ["pm_sleep", "pm_wake"]
+
+    def test_batches_pass_the_flag_through(self, tmp_path):
+        from repro.obs.tracer import read_trace_batches
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(self.GOOD * 3 + '{"ev":"pm_wake"')
+        batches = list(
+            read_trace_batches(path, batch_size=2, allow_partial_tail=True)
+        )
+        assert [len(b) for b in batches] == [2, 1]
+        with pytest.raises(ValueError, match="line 4"):
+            list(read_trace_batches(path, batch_size=2))
+
+    def test_validation_errors_not_downgraded(self, tmp_path):
+        """allow_partial_tail forgives torn JSON only — a *parseable*
+        final line that fails event validation still raises."""
+        path = tmp_path / "t.jsonl"
+        path.write_text(self.GOOD + '{"ev":"mystery","round":1,"node":2}\n')
+        with pytest.raises(ValueError, match="unknown event kind"):
+            list(read_trace(path, allow_partial_tail=True))
+
+
 def test_event_vocabulary_is_closed_and_documented():
     # The reader and the emitters must agree on one vocabulary.
     assert "migration" in EVENT_KINDS

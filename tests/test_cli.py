@@ -107,7 +107,7 @@ class TestRunObservability:
         rc = main(self.RUN_ARGS + ["--profile"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "engine_round" in out and "share" in out
+        assert "engine_round" in out and "%parent" in out
         summary = load_summary(tmp_path / "BENCH_run.json")
         assert summary["kind"] == "run"
         assert summary["context"]["policy"] == "GRMP"

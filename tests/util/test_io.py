@@ -12,7 +12,13 @@ import json
 import pytest
 
 from repro.core.qlearning import QLearningModel
-from repro.util.io import atomic_write_json, atomic_write_text
+from repro.util.io import (
+    append_jsonl,
+    append_text_line,
+    atomic_write_json,
+    atomic_write_text,
+    iter_jsonl,
+)
 
 
 class TestAtomicWriteText:
@@ -69,6 +75,79 @@ class TestAtomicWriteJson:
             atomic_write_json({"bad": object()}, target)
         assert json.loads(target.read_text()) == {"ok": True}
         assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestAppendLine:
+    def test_creates_and_appends(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        append_text_line("one", target)
+        append_text_line("two", target)
+        assert target.read_text() == "one\ntwo\n"
+
+    def test_rejects_embedded_newline(self, tmp_path):
+        with pytest.raises(ValueError, match="single line"):
+            append_text_line("a\nb", tmp_path / "log.jsonl")
+
+    def test_append_jsonl_compact(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        append_jsonl({"a": 1, "b": [2, 3]}, target)
+        (line,) = target.read_text().splitlines()
+        assert " " not in line
+        assert json.loads(line) == {"a": 1, "b": [2, 3]}
+
+    def test_appends_after_torn_tail(self, tmp_path):
+        """O_APPEND writes land after whatever is there — including a
+        torn line a dead writer left; readers repair/skip it."""
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a":1}\n{"tor')
+        append_jsonl({"b": 2}, target)
+        assert target.read_text() == '{"a":1}\n{"tor{"b":2}\n'
+
+
+class TestIterJsonl:
+    def test_yields_lineno_and_payload(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a":1}\n\n[2]\n')
+        assert list(iter_jsonl(target)) == [(1, {"a": 1}), (3, [2])]
+
+    def test_empty_file(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text("")
+        assert list(iter_jsonl(target)) == []
+
+    def test_bad_line_raises_with_lineno(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a":1}\n{nope\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_jsonl(target))
+
+    def test_partial_tail_tolerated_when_opted_in(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a":1}\n{"b":2}\n{"tor')
+        assert list(iter_jsonl(target, allow_partial_tail=True)) == [
+            (1, {"a": 1}),
+            (2, {"b": 2}),
+        ]
+
+    def test_partial_tail_raises_by_default(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a":1}\n{"tor')
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_jsonl(target))
+
+    def test_interior_corruption_raises_even_with_flag(self, tmp_path):
+        """Only the *final* line may be torn; a bad line with complete
+        lines after it is corruption, never an in-flight append."""
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a":1}\n{nope\n{"c":3}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_jsonl(target, allow_partial_tail=True))
+
+    def test_stream_source(self):
+        import io
+
+        buf = io.StringIO('{"a":1}\n')
+        assert list(iter_jsonl(buf)) == [(1, {"a": 1})]
 
 
 class TestQLearningModelSaveAtomic:
